@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Ablations of the Sec. V optimizations, as called out in DESIGN.md:
+ *   - locality-aware store on/off,
+ *   - in-memory operations on/off (with matching LD/ST translation),
+ *   - the direct-surgery extension (beyond-paper),
+ *   - magic-buffer depth sweep,
+ *   - bank-count sweep.
+ * Reported on the two headline workloads (multiplier, SELECT) plus the
+ * worst-case Clifford chain (cat).
+ */
+
+#include "bench_util.h"
+
+namespace lsqca {
+namespace {
+
+struct Work
+{
+    std::string name;
+    Circuit lowered;
+    std::int64_t prefix;
+};
+
+double
+overheadOf(const Program &program, const ArchConfig &cfg,
+           std::int64_t prefix, double conv_beats)
+{
+    SimOptions opts;
+    opts.arch = cfg;
+    opts.maxInstructions = prefix;
+    return static_cast<double>(simulate(program, opts).execBeats) /
+           conv_beats;
+}
+
+} // namespace
+} // namespace lsqca
+
+int
+main(int argc, char **argv)
+{
+    using namespace lsqca;
+    const auto args = bench::parseArgs(argc, argv);
+
+    std::vector<Work> works;
+    works.push_back(
+        {"multiplier", lowerToCliffordT(makeMultiplier()),
+         args.full ? 0 : 60'000});
+    works.push_back({"SELECT", lowerToCliffordT(makeSelect({11, 0})),
+                     args.full ? 0 : 60'000});
+    works.push_back({"cat", lowerToCliffordT(makeCat()), 0});
+
+    for (const auto &work : works) {
+        const Program in_mem = translate(work.lowered);
+        TranslateOptions explicit_ldst;
+        explicit_ldst.inMemoryOps = false;
+        const Program ld_st = translate(work.lowered, explicit_ldst);
+
+        const double conv = static_cast<double>(
+            simulateConventional(in_mem, 1, work.prefix).execBeats);
+
+        TextTable table({"variant", "point#1 overhead",
+                         "line#1 overhead"});
+        auto addRow = [&](const std::string &label, const Program &prog,
+                          auto mutate) {
+            std::vector<std::string> row{label};
+            for (SamKind sam : {SamKind::Point, SamKind::Line}) {
+                ArchConfig cfg;
+                cfg.sam = sam;
+                mutate(cfg);
+                row.push_back(TextTable::num(
+                    overheadOf(prog, cfg, work.prefix, conv), 3));
+            }
+            table.addRow(row);
+        };
+
+        addRow("baseline (all paper opts)", in_mem,
+               [](ArchConfig &) {});
+        addRow("no locality-aware store", in_mem, [](ArchConfig &cfg) {
+            cfg.localityStore = false;
+        });
+        addRow("no in-memory ops (LD/ST everywhere)", ld_st,
+               [](ArchConfig &cfg) { cfg.inMemoryOps = false; });
+        addRow("+ direct-surgery extension", in_mem,
+               [](ArchConfig &cfg) { cfg.directSurgery = true; });
+        addRow("buffer cap 1", in_mem,
+               [](ArchConfig &cfg) { cfg.bufferCap = 1; });
+        addRow("buffer cap 8", in_mem,
+               [](ArchConfig &cfg) { cfg.bufferCap = 8; });
+        addRow("cold magic buffer", in_mem,
+               [](ArchConfig &cfg) { cfg.warmBuffer = false; });
+        addRow("2 banks", in_mem,
+               [](ArchConfig &cfg) { cfg.banks = 2; });
+        addRow("no row-parallel unitaries", in_mem,
+               [](ArchConfig &cfg) { cfg.rowParallelOps = false; });
+        addRow("interleaved placement", in_mem, [](ArchConfig &cfg) {
+            cfg.placement = PlacementPolicy::Interleaved;
+        });
+        addRow("interleaved + direct surgery", in_mem,
+               [](ArchConfig &cfg) {
+                   cfg.placement = PlacementPolicy::Interleaved;
+                   cfg.directSurgery = true;
+               });
+
+        bench::emit(table,
+                    "Ablation (" + work.name +
+                        ", factory 1, overhead vs conventional)",
+                    args, "ablation_" + work.name);
+    }
+    return 0;
+}

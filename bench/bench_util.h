@@ -1,0 +1,130 @@
+#ifndef LSQCA_BENCH_BENCH_UTIL_H
+#define LSQCA_BENCH_BENCH_UTIL_H
+
+/**
+ * @file
+ * Shared plumbing for the figure/table benches: benchmark loading with
+ * steady-state prefixes, standard machine configurations, and CSV
+ * mirroring.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/config.h"
+#include "circuit/lowering.h"
+#include "common/table.h"
+#include "isa/program.h"
+#include "sim/simulator.h"
+#include "synth/benchmarks.h"
+#include "translate/translate.h"
+
+namespace lsqca::bench {
+
+/** A translated benchmark plus its simulation prefix budget. */
+struct Workload
+{
+    std::string name;
+    Program program;
+    /** Steady-state instruction prefix (0 = simulate everything). */
+    std::int64_t prefix = 0;
+};
+
+/**
+ * The paper's seven-benchmark suite, lowered and translated. Large
+ * iterative programs (multiplier, square_root, SELECT) get steady-state
+ * prefixes unless @p full — their loops are periodic, so CPI and
+ * overhead converge long before the end (EXPERIMENTS.md validates the
+ * prefix choice).
+ */
+inline std::vector<Workload>
+paperWorkloads(bool full)
+{
+    const std::int64_t kPrefix = full ? 0 : 60'000;
+    std::vector<Workload> loads;
+    auto add = [&](const char *name, const Circuit &circ,
+                   std::int64_t prefix) {
+        loads.push_back(
+            {name, translate(lowerToCliffordT(circ)), prefix});
+    };
+    add("adder", makeAdder(), 0);
+    add("bv", makeBernsteinVazirani(), 0);
+    add("cat", makeCat(), 0);
+    add("ghz", makeGhz(), 0);
+    add("multiplier", makeMultiplier(), kPrefix);
+    add("square_root", makeSquareRoot(), kPrefix);
+    add("SELECT", makeSelect({11, 0}), kPrefix);
+    return loads;
+}
+
+/** Simulate @p load under @p arch honouring its prefix budget. */
+inline SimResult
+run(const Workload &load, const ArchConfig &arch)
+{
+    SimOptions opts;
+    opts.arch = arch;
+    opts.maxInstructions = load.prefix;
+    return simulate(load.program, opts);
+}
+
+/** The bar configurations of Fig. 13 (left-to-right). */
+inline std::vector<ArchConfig>
+fig13Machines(std::int32_t factories)
+{
+    std::vector<ArchConfig> machines;
+    auto push = [&](SamKind sam, std::int32_t banks) {
+        ArchConfig cfg;
+        cfg.sam = sam;
+        cfg.banks = banks;
+        cfg.factories = factories;
+        machines.push_back(cfg);
+    };
+    push(SamKind::Point, 1);
+    push(SamKind::Point, 2);
+    push(SamKind::Line, 1);
+    push(SamKind::Line, 2);
+    push(SamKind::Line, 4);
+    push(SamKind::Conventional, 1);
+    return machines;
+}
+
+/** Parse "--csv <dir>" and "--full" from argv. */
+struct BenchArgs
+{
+    std::optional<std::string> csvDir;
+    bool full = false;
+};
+
+inline BenchArgs
+parseArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
+            args.csvDir = argv[++i];
+        else if (std::strcmp(argv[i], "--full") == 0)
+            args.full = true;
+        else
+            std::cerr << "unknown argument: " << argv[i]
+                      << " (supported: --csv <dir>, --full)\n";
+    }
+    return args;
+}
+
+/** Print a table and mirror it to <dir>/<stem>.csv when requested. */
+inline void
+emit(const TextTable &table, const std::string &title,
+     const BenchArgs &args, const std::string &stem)
+{
+    std::cout << table.render(title) << "\n";
+    if (args.csvDir)
+        table.writeCsv(*args.csvDir + "/" + stem + ".csv");
+}
+
+} // namespace lsqca::bench
+
+#endif // LSQCA_BENCH_BENCH_UTIL_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 7 reproduction: the densities of the existing floorplan
+ * strategies versus the LSQCA designs, both as closed-form catalogue
+ * entries and as measured machine instances at the paper's benchmark
+ * sizes.
+ */
+
+#include "bench_util.h"
+#include "arch/floorplan.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lsqca;
+    const auto args = bench::parseArgs(argc, argv);
+
+    TextTable catalogue({"Floorplan", "Memory density",
+                         "Worst-case access (beats)"});
+    for (const auto &entry : floorplanCatalogue()) {
+        catalogue.addRow(
+            {entry.name, TextTable::num(entry.density, 3),
+             entry.accessBeats < 0 ? "variable"
+                                   : std::to_string(entry.accessBeats)});
+    }
+    bench::emit(catalogue, "Fig. 7: floorplan catalogue", args,
+                "fig07_catalogue");
+
+    TextTable measured({"Benchmark", "Qubits", "point#1", "point#2",
+                        "line#1", "line#2", "line#4", "conventional"});
+    const std::int64_t sizes[][2] = {
+        {433, 0}, {280, 0}, {260, 0}, {127, 0},
+        {400, 0}, {60, 0},  {143, 0},
+    };
+    const char *names[] = {"adder", "bv", "cat", "ghz",
+                           "multiplier", "square_root", "SELECT"};
+    for (std::size_t i = 0; i < std::size(sizes); ++i) {
+        std::vector<std::string> row{names[i],
+                                     std::to_string(sizes[i][0])};
+        for (const auto &[sam, banks] :
+             std::vector<std::pair<SamKind, std::int32_t>>{
+                 {SamKind::Point, 1},
+                 {SamKind::Point, 2},
+                 {SamKind::Line, 1},
+                 {SamKind::Line, 2},
+                 {SamKind::Line, 4},
+                 {SamKind::Conventional, 1}}) {
+            ArchConfig cfg;
+            cfg.sam = sam;
+            cfg.banks = banks;
+            const auto stats = floorplanStats(cfg, sizes[i][0], 0);
+            row.push_back(TextTable::num(stats.density(), 3));
+        }
+        measured.addRow(row);
+    }
+    bench::emit(measured,
+                "Measured densities at paper benchmark sizes "
+                "(SAM + CR cells, MSF excluded)",
+                args, "fig07_measured");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fig. 15 reproduction: SELECT instance-size scaling. Lattice widths
+ * 21/41/61/81/101 give 467/1,711/3,753/6,595/10,235 data qubits; each
+ * runs on point/line SAMs and on the hybrid layouts that pin the
+ * control+temporal registers into the conventional region, versus the
+ * conventional baseline, for 1/2/4 factories.
+ *
+ * The large instances are evaluated on a steady-state unary-iteration
+ * prefix (the loop is periodic); pass --full for complete circuits.
+ */
+
+#include "bench_util.h"
+
+namespace lsqca {
+namespace {
+
+struct Row
+{
+    std::string label;
+    double density;
+    double overhead;
+};
+
+} // namespace
+} // namespace lsqca
+
+int
+main(int argc, char **argv)
+{
+    using namespace lsqca;
+    const auto args = bench::parseArgs(argc, argv);
+
+    const std::int32_t widths[] = {21, 41, 61, 81, 101};
+
+    for (std::int32_t factories : {1, 2, 4}) {
+        TextTable table({"width", "data qubits", "config", "density",
+                         "exec overhead"});
+        for (std::int32_t width : widths) {
+            const SelectLayout layout = selectLayout(width);
+            // Steady-state prefix: enough unary-iteration periods for
+            // the amortized walker cost to converge.
+            SelectParams params;
+            params.width = width;
+            params.maxTerms =
+                args.full ? 0
+                          : std::min<std::int64_t>(layout.numTerms, 1200);
+            bench::Workload load{
+                "SELECT" + std::to_string(width),
+                translate(lowerToCliffordT(makeSelect(params))), 0};
+
+            ArchConfig conv;
+            conv.sam = SamKind::Conventional;
+            conv.factories = factories;
+            const double conv_beats =
+                static_cast<double>(bench::run(load, conv).execBeats);
+
+            // Hybrid ratio: control+temporal registers conventional.
+            const double hot_fraction =
+                static_cast<double>(layout.controlBits +
+                                    layout.temporalBits) /
+                static_cast<double>(layout.totalQubits);
+
+            struct Config
+            {
+                const char *label;
+                SamKind sam;
+                std::int32_t banks;
+                double f;
+            };
+            const Config configs[] = {
+                {"point#1", SamKind::Point, 1, 0.0},
+                {"point#2", SamKind::Point, 2, 0.0},
+                {"line#1", SamKind::Line, 1, 0.0},
+                {"line#4", SamKind::Line, 4, 0.0},
+                {"hybrid point#1", SamKind::Point, 1, hot_fraction},
+                {"hybrid point#2", SamKind::Point, 2, hot_fraction},
+                {"hybrid line#1", SamKind::Line, 1, hot_fraction},
+                {"hybrid line#4", SamKind::Line, 4, hot_fraction},
+            };
+            for (const auto &config : configs) {
+                ArchConfig cfg;
+                cfg.sam = config.sam;
+                cfg.banks = config.banks;
+                cfg.factories = factories;
+                cfg.hybridFraction = config.f;
+                const SimResult r = bench::run(load, cfg);
+                table.addRow(
+                    {std::to_string(width),
+                     std::to_string(layout.totalQubits), config.label,
+                     TextTable::num(r.density(), 3),
+                     TextTable::num(static_cast<double>(r.execBeats) /
+                                        conv_beats,
+                                    3)});
+            }
+        }
+        bench::emit(table,
+                    "Fig. 15: SELECT scaling with " +
+                        std::to_string(factories) + " factor" +
+                        (factories == 1 ? "y" : "ies"),
+                    args, "fig15_f" + std::to_string(factories));
+    }
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * google-benchmark microbenches for the simulator core: instruction
+ * throughput per machine kind, bank cost-model queries, sliding-puzzle
+ * insertion, and the MSF producer model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "arch/line_sam.h"
+#include "arch/msf.h"
+#include "arch/point_sam.h"
+#include "circuit/lowering.h"
+#include "geom/grid.h"
+#include "sim/simulator.h"
+#include "synth/benchmarks.h"
+#include "translate/translate.h"
+
+namespace lsqca {
+namespace {
+
+const Program &
+adderProgram()
+{
+    static const Program program =
+        translate(lowerToCliffordT(makeAdder(64)));
+    return program;
+}
+
+void
+BM_SimulateConventional(benchmark::State &state)
+{
+    const Program &p = adderProgram();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(simulateConventional(p, 1));
+    }
+    state.SetItemsProcessed(state.iterations() * p.size());
+}
+BENCHMARK(BM_SimulateConventional);
+
+void
+BM_SimulatePointSam(benchmark::State &state)
+{
+    const Program &p = adderProgram();
+    SimOptions opts;
+    opts.arch.sam = SamKind::Point;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(simulate(p, opts));
+    }
+    state.SetItemsProcessed(state.iterations() * p.size());
+}
+BENCHMARK(BM_SimulatePointSam);
+
+void
+BM_SimulateLineSam(benchmark::State &state)
+{
+    const Program &p = adderProgram();
+    SimOptions opts;
+    opts.arch.sam = SamKind::Line;
+    opts.arch.banks = 4;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(simulate(p, opts));
+    }
+    state.SetItemsProcessed(state.iterations() * p.size());
+}
+BENCHMARK(BM_SimulateLineSam);
+
+void
+BM_PointSamLoadCost(benchmark::State &state)
+{
+    PointSamBank bank(static_cast<std::int32_t>(state.range(0)),
+                      Latencies{});
+    std::vector<QubitId> vars(static_cast<std::size_t>(state.range(0)));
+    std::iota(vars.begin(), vars.end(), 0);
+    bank.placeInitial(vars);
+    QubitId q = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bank.loadCost(q));
+        q = (q + 17) % static_cast<QubitId>(state.range(0));
+    }
+}
+BENCHMARK(BM_PointSamLoadCost)->Arg(99)->Arg(399)->Arg(1599);
+
+void
+BM_GridMakeRoom(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        OccupancyGrid grid(20, 20);
+        for (std::int32_t i = 0; i < 399; ++i)
+            grid.place(i, {i / 20, i % 20});
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(grid.makeRoomAt({10, 0}));
+    }
+}
+BENCHMARK(BM_GridMakeRoom);
+
+void
+BM_MagicSourceAcquire(benchmark::State &state)
+{
+    MagicSource msf(4, 8, 15, 1, true, false);
+    std::int64_t t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(msf.acquire(t));
+        t += 3;
+    }
+}
+BENCHMARK(BM_MagicSourceAcquire);
+
+void
+BM_TranslateAdder(benchmark::State &state)
+{
+    const Circuit lowered = lowerToCliffordT(makeAdder(64));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(translate(lowered));
+    }
+}
+BENCHMARK(BM_TranslateAdder);
+
+void
+BM_LowerSelect(benchmark::State &state)
+{
+    const Circuit select = makeSelect({5, 0});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lowerToCliffordT(select));
+    }
+}
+BENCHMARK(BM_LowerSelect);
+
+} // namespace
+} // namespace lsqca
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The paper's headline scenario (Sec. VI-B): the 400-qubit multiplier
+ * under a resource-restricted machine (one magic-state factory).
+ * Line SAM reaches ~87% memory density -- versus 50% for the
+ * conventional floorplan -- while the magic-state bottleneck conceals
+ * most of the load/store latency.
+ *
+ * Usage: multiplier_demo [prefix-instructions]   (default 120000)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "circuit/lowering.h"
+#include "common/table.h"
+#include "sim/simulator.h"
+#include "synth/benchmarks.h"
+#include "translate/translate.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lsqca;
+    const std::int64_t prefix =
+        argc > 1 ? std::atoll(argv[1]) : 120'000;
+
+    std::cout << "Synthesizing the 400-qubit multiplier (81x78 bits)...\n";
+    const Circuit circuit = makeMultiplier();
+    const Circuit lowered = lowerToCliffordT(circuit);
+    const Program program = translate(lowered);
+    std::cout << "  " << circuit.numQubits() << " logical qubits, "
+              << program.size() << " LSQCA instructions, "
+              << program.magicCount() << " magic states\n\n";
+
+    TextTable table({"machine", "exec [beats]", "CPI", "density",
+                     "overhead", "magic stall [beats]"});
+    const SimResult conv = simulateConventional(program, 1, prefix);
+    auto addRow = [&](const std::string &name, const SimResult &r) {
+        table.addRow({name, std::to_string(r.execBeats),
+                      TextTable::num(r.cpi, 2),
+                      TextTable::num(r.density(), 3),
+                      TextTable::num(static_cast<double>(r.execBeats) /
+                                         static_cast<double>(
+                                             conv.execBeats),
+                                     3),
+                      std::to_string(r.magicStallBeats)});
+    };
+    addRow("conventional (1/2 density)", conv);
+    for (const auto &[name, sam, banks] :
+         {std::tuple<const char *, SamKind, int>{"point SAM, 1 bank",
+                                                 SamKind::Point, 1},
+          {"point SAM, 2 banks", SamKind::Point, 2},
+          {"line SAM, 1 bank", SamKind::Line, 1},
+          {"line SAM, 4 banks", SamKind::Line, 4}}) {
+        SimOptions opts;
+        opts.arch.sam = sam;
+        opts.arch.banks = banks;
+        opts.maxInstructions = prefix;
+        addRow(name, simulate(program, opts));
+    }
+    std::cout << table.render(
+        "multiplier, factory count 1, steady-state prefix of " +
+        std::to_string(prefix) + " instructions");
+    std::cout << "\nPaper reference: line SAM ~87% density at ~6% "
+                 "overhead (Sec. VI-B).\n";
+    return 0;
+}

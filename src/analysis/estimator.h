@@ -1,0 +1,88 @@
+#ifndef LSQCA_ANALYSIS_ESTIMATOR_H
+#define LSQCA_ANALYSIS_ESTIMATOR_H
+
+/**
+ * @file
+ * Closed-form resource estimation for LSQCA machines — the quick
+ * "what-if" companion to the cycle-accurate simulator. Estimates are
+ * proven bounds (tested against the simulator): execution time is at
+ * least the magic-production time and at least the dataflow critical
+ * path; memory density comes from exact cell accounting.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "arch/config.h"
+#include "arch/floorplan.h"
+#include "isa/program.h"
+
+namespace lsqca {
+
+/** Closed-form resource estimates for one program on one machine. */
+struct ResourceEstimate
+{
+    std::int64_t dataQubits = 0;
+    std::int64_t instructions = 0;
+    std::int64_t countedInstructions = 0;
+    std::int64_t magicStates = 0;
+
+    /** Beats to produce all magic states (factories * period model). */
+    std::int64_t magicProductionBeats = 0;
+
+    /** Dataflow critical path with Table-I fixed latencies (memory
+     *  motion excluded — a true lower bound for every SAM). */
+    std::int64_t dataflowBeats = 0;
+
+    /** max(magicProductionBeats, dataflowBeats): execution time lower
+     *  bound for any floorplan with this MSF configuration. */
+    std::int64_t lowerBoundBeats = 0;
+
+    /** Exact floorplan cell accounting (MSFs excluded). */
+    FloorplanStats floorplan;
+
+    /** Lower bound on CPI. */
+    double cpiLowerBound = 0.0;
+
+    /** Multi-line human-readable report. */
+    std::string report() const;
+};
+
+/**
+ * Estimate @p program on @p config. The hybrid fraction contributes its
+ * conventional-region cells; magic production assumes a warm buffer.
+ */
+ResourceEstimate estimateResources(const Program &program,
+                                   const ArchConfig &config);
+
+/** Physical-layer assumptions for code-distance sizing. */
+struct CodeDistanceModel
+{
+    double physicalErrorRate = 1e-3; ///< per physical op
+    double thresholdRate = 1e-2;     ///< surface-code threshold
+    double prefactor = 0.1;          ///< A in p_L = A (p/p_th)^((d+1)/2)
+    double targetFailure = 1e-2;     ///< whole-run failure budget
+};
+
+/**
+ * Smallest odd code distance d whose total logical failure probability
+ * stays within budget for @p cells logical patches over @p beats code
+ * beats, under the standard p_L(d) = A (p/p_th)^((d+1)/2) per-patch
+ * per-beat scaling. This quantifies the paper's Sec. VI-B remark that
+ * execution-time overhead feeds back into code distance: a slower
+ * floorplan needs a larger d, eroding its physical-qubit advantage.
+ *
+ * @return the required distance (at least 3).
+ */
+std::int32_t requiredCodeDistance(std::int64_t beats, std::int64_t cells,
+                                  const CodeDistanceModel &model = {});
+
+/**
+ * Physical qubits for @p cells surface-code patches at distance @p d:
+ * 2d^2 - 1 physical qubits per patch (data + syndrome).
+ */
+std::int64_t physicalQubits(std::int64_t cells, std::int32_t d);
+
+} // namespace lsqca
+
+#endif // LSQCA_ANALYSIS_ESTIMATOR_H

@@ -1,0 +1,67 @@
+#include "arch/config.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace lsqca {
+
+const char *
+samKindName(SamKind kind)
+{
+    switch (kind) {
+      case SamKind::Point: return "point";
+      case SamKind::Line: return "line";
+      case SamKind::Conventional: return "conventional";
+    }
+    return "?";
+}
+
+const char *
+placementPolicyName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::RowMajor: return "row-major";
+      case PlacementPolicy::Interleaved: return "interleaved";
+    }
+    return "?";
+}
+
+std::int32_t
+ArchConfig::effectiveBufferCap() const
+{
+    return bufferCap >= 0 ? bufferCap : 2 * factories;
+}
+
+std::string
+ArchConfig::label() const
+{
+    std::ostringstream oss;
+    oss << samKindName(sam);
+    if (sam != SamKind::Conventional) {
+        oss << "#" << banks;
+        if (hybridFraction > 0.0)
+            oss << "+hybrid" << hybridFraction;
+    }
+    return oss.str();
+}
+
+void
+ArchConfig::validate() const
+{
+    LSQCA_REQUIRE(banks >= 1, "bank count must be >= 1");
+    LSQCA_REQUIRE(sam != SamKind::Point || banks <= 2,
+                  "point-SAM supports at most two banks (Sec. V-A)");
+    LSQCA_REQUIRE(factories >= 1, "factory count must be >= 1");
+    LSQCA_REQUIRE(crRegisters >= 2,
+                  "CR needs at least two register cells");
+    LSQCA_REQUIRE(hybridFraction >= 0.0 && hybridFraction <= 1.0,
+                  "hybrid fraction must lie in [0, 1]");
+    LSQCA_REQUIRE(lat.msfPeriod >= 1, "MSF period must be positive");
+    LSQCA_REQUIRE(lat.move >= 1 && lat.longMove >= 1 && lat.surgery >= 1,
+                  "primitive latencies must be positive");
+    LSQCA_REQUIRE(effectiveBufferCap() >= 1,
+                  "magic buffer needs at least one slot");
+}
+
+} // namespace lsqca

@@ -1,0 +1,87 @@
+#ifndef LSQCA_ARCH_FLOORPLAN_H
+#define LSQCA_ARCH_FLOORPLAN_H
+
+/**
+ * @file
+ * Floorplan cell accounting and memory-density computation.
+ *
+ * Density is program data qubits over total logical cells (SAM banks +
+ * CR + any hybrid conventional region), with MSFs excluded as in
+ * Sec. VI-A. Also provides the Fig. 7 catalogue of conventional
+ * floorplan densities for reference.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.h"
+
+namespace lsqca {
+
+/** Rows x cols of one SAM bank's cell grid (including auxiliary cells). */
+struct BankShape
+{
+    std::int32_t rows = 0;
+    std::int32_t cols = 0;
+    std::int32_t capacity = 0; ///< data qubits this bank holds
+
+    std::int32_t cells() const { return rows * cols; }
+};
+
+/** Cell accounting for a full machine instance. */
+struct FloorplanStats
+{
+    std::int64_t dataQubits = 0;         ///< program variables
+    std::int64_t samCells = 0;           ///< all bank cells (data + aux)
+    std::int64_t crCells = 0;            ///< CR region incl. ports
+    std::int64_t conventionalCells = 0;  ///< hybrid region (2 per qubit)
+    std::int64_t totalCells = 0;
+
+    double
+    density() const
+    {
+        return totalCells == 0
+                   ? 0.0
+                   : static_cast<double>(dataQubits) /
+                         static_cast<double>(totalCells);
+    }
+};
+
+/**
+ * Shape of bank @p bank_index when @p sam_qubits variables are dealt
+ * round-robin over @p config.banks banks.
+ *
+ * Point banks use the tightest rows x cols grid with capacity+1 cells
+ * (footnote 1: the bottom row is trimmed when n+1 is not square). Line
+ * banks use the L x L / L x (L+1) data grid of Sec. VI-A plus one scan
+ * row.
+ */
+BankShape bankShape(const ArchConfig &config, std::int64_t sam_qubits,
+                    std::int32_t bank_index);
+
+/** Number of variables dealt to bank @p bank_index. */
+std::int64_t bankCapacity(std::int64_t sam_qubits, std::int32_t banks,
+                          std::int32_t bank_index);
+
+/**
+ * Full cell accounting for @p config hosting @p data_qubits program
+ * variables, of which @p conventional_qubits live in the hybrid region.
+ */
+FloorplanStats floorplanStats(const ArchConfig &config,
+                              std::int64_t data_qubits,
+                              std::int64_t conventional_qubits);
+
+/** One entry of the Fig. 7 existing-floorplan catalogue. */
+struct FloorplanCatalogueEntry
+{
+    const char *name;
+    double density;          ///< data cells / total cells
+    std::int32_t accessBeats; ///< worst-case beats to touch any qubit
+};
+
+/** The four floorplans of Fig. 7 plus the LSQCA asymptotes. */
+std::vector<FloorplanCatalogueEntry> floorplanCatalogue();
+
+} // namespace lsqca
+
+#endif // LSQCA_ARCH_FLOORPLAN_H

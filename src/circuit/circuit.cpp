@@ -1,0 +1,319 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace lsqca {
+
+const char *
+gateName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::X: return "x";
+      case GateKind::Y: return "y";
+      case GateKind::Z: return "z";
+      case GateKind::H: return "h";
+      case GateKind::S: return "s";
+      case GateKind::Sdg: return "sdg";
+      case GateKind::CX: return "cx";
+      case GateKind::CZ: return "cz";
+      case GateKind::Swap: return "swap";
+      case GateKind::T: return "t";
+      case GateKind::Tdg: return "tdg";
+      case GateKind::CCX: return "ccx";
+      case GateKind::AndInit: return "and";
+      case GateKind::AndUncompute: return "unand";
+      case GateKind::PrepZ: return "prep_z";
+      case GateKind::PrepX: return "prep_x";
+      case GateKind::MeasZ: return "meas_z";
+      case GateKind::MeasX: return "meas_x";
+    }
+    return "?";
+}
+
+std::string
+Gate::str() const
+{
+    std::ostringstream oss;
+    oss << gateName(kind);
+    for (int i = 0; i < arity(); ++i)
+        oss << (i == 0 ? " q" : ", q") << qubits[static_cast<size_t>(i)];
+    if (cbit != kNoBit)
+        oss << " -> c" << cbit;
+    if (condBit != kNoBit)
+        oss << " if c" << condBit;
+    return oss.str();
+}
+
+Circuit::Circuit(std::int32_t num_qubits)
+{
+    LSQCA_REQUIRE(num_qubits >= 0, "negative qubit count");
+    if (num_qubits > 0)
+        addRegister("q", num_qubits);
+}
+
+QubitId
+Circuit::addRegister(const std::string &name, std::int32_t size)
+{
+    LSQCA_REQUIRE(size > 0, "register size must be positive");
+    for (const auto &r : regs_)
+        LSQCA_REQUIRE(r.name != name, "duplicate register name: " + name);
+    const QubitId first = numQubits_;
+    regs_.push_back({name, first, size});
+    numQubits_ += size;
+    return first;
+}
+
+std::int32_t
+Circuit::registerOf(QubitId q) const
+{
+    for (std::size_t i = 0; i < regs_.size(); ++i)
+        if (regs_[i].contains(q))
+            return static_cast<std::int32_t>(i);
+    return -1;
+}
+
+const QubitRegister &
+Circuit::reg(const std::string &name) const
+{
+    for (const auto &r : regs_)
+        if (r.name == name)
+            return r;
+    throw ConfigError("no such register: " + name);
+}
+
+ClassicalBit
+Circuit::newBit()
+{
+    return numBits_++;
+}
+
+void
+Circuit::validateQubit(QubitId q) const
+{
+    LSQCA_REQUIRE(q >= 0 && q < numQubits_,
+                  "qubit operand out of range: q" + std::to_string(q));
+}
+
+void
+Circuit::append(const Gate &gate)
+{
+    const int arity = gate.arity();
+    for (int i = 0; i < arity; ++i)
+        validateQubit(gate.qubits[static_cast<size_t>(i)]);
+    for (int i = 0; i < arity; ++i)
+        for (int j = i + 1; j < arity; ++j)
+            LSQCA_REQUIRE(gate.qubits[static_cast<size_t>(i)] !=
+                              gate.qubits[static_cast<size_t>(j)],
+                          "duplicate qubit operand in " +
+                              std::string(gateName(gate.kind)));
+    if (isMeasurement(gate.kind))
+        LSQCA_REQUIRE(gate.cbit != kNoBit && gate.cbit < numBits_,
+                      "measurement without a valid classical bit");
+    if (gate.condBit != kNoBit)
+        LSQCA_REQUIRE(gate.condBit < numBits_,
+                      "condition bit out of range");
+    gates_.push_back(gate);
+}
+
+void
+Circuit::append1(GateKind kind, QubitId q)
+{
+    Gate g;
+    g.kind = kind;
+    g.qubits[0] = q;
+    append(g);
+}
+
+void
+Circuit::cx(QubitId control, QubitId target)
+{
+    Gate g;
+    g.kind = GateKind::CX;
+    g.qubits[0] = control;
+    g.qubits[1] = target;
+    append(g);
+}
+
+void
+Circuit::cz(QubitId a, QubitId b)
+{
+    Gate g;
+    g.kind = GateKind::CZ;
+    g.qubits[0] = a;
+    g.qubits[1] = b;
+    append(g);
+}
+
+void
+Circuit::swap(QubitId a, QubitId b)
+{
+    Gate g;
+    g.kind = GateKind::Swap;
+    g.qubits[0] = a;
+    g.qubits[1] = b;
+    append(g);
+}
+
+void
+Circuit::ccx(QubitId c0, QubitId c1, QubitId target)
+{
+    Gate g;
+    g.kind = GateKind::CCX;
+    g.qubits[0] = c0;
+    g.qubits[1] = c1;
+    g.qubits[2] = target;
+    append(g);
+}
+
+void
+Circuit::andInit(QubitId c0, QubitId c1, QubitId t)
+{
+    Gate g;
+    g.kind = GateKind::AndInit;
+    g.qubits[0] = c0;
+    g.qubits[1] = c1;
+    g.qubits[2] = t;
+    append(g);
+}
+
+void
+Circuit::andUncompute(QubitId c0, QubitId c1, QubitId t)
+{
+    Gate g;
+    g.kind = GateKind::AndUncompute;
+    g.qubits[0] = c0;
+    g.qubits[1] = c1;
+    g.qubits[2] = t;
+    append(g);
+}
+
+ClassicalBit
+Circuit::measZ(QubitId q)
+{
+    Gate g;
+    g.kind = GateKind::MeasZ;
+    g.qubits[0] = q;
+    g.cbit = newBit();
+    append(g);
+    return g.cbit;
+}
+
+ClassicalBit
+Circuit::measX(QubitId q)
+{
+    Gate g;
+    g.kind = GateKind::MeasX;
+    g.qubits[0] = q;
+    g.cbit = newBit();
+    append(g);
+    return g.cbit;
+}
+
+void
+Circuit::appendConditioned(GateKind kind, QubitId q, ClassicalBit cond)
+{
+    LSQCA_REQUIRE(gateArity(kind) == 1,
+                  "appendConditioned expects a single-qubit gate");
+    Gate g;
+    g.kind = kind;
+    g.qubits[0] = q;
+    g.condBit = cond;
+    append(g);
+}
+
+void
+Circuit::czConditioned(QubitId a, QubitId b, ClassicalBit cond)
+{
+    Gate g;
+    g.kind = GateKind::CZ;
+    g.qubits[0] = a;
+    g.qubits[1] = b;
+    g.condBit = cond;
+    append(g);
+}
+
+std::int64_t
+Circuit::tCount() const
+{
+    std::int64_t count = 0;
+    for (const auto &g : gates_) {
+        if (isTLike(g.kind))
+            ++count;
+        else if (g.kind == GateKind::CCX || g.kind == GateKind::AndInit)
+            count += 4; // temporary-AND lowering cost
+    }
+    return count;
+}
+
+std::int64_t
+Circuit::toffoliCount() const
+{
+    std::int64_t count = 0;
+    for (const auto &g : gates_)
+        if (g.kind == GateKind::CCX || g.kind == GateKind::AndInit)
+            ++count;
+    return count;
+}
+
+std::int64_t
+Circuit::twoQubitCount() const
+{
+    std::int64_t count = 0;
+    for (const auto &g : gates_)
+        if (g.arity() >= 2)
+            ++count;
+    return count;
+}
+
+std::int64_t
+Circuit::depth(
+    const std::function<std::int64_t(const Gate &)> &latency) const
+{
+    std::vector<std::int64_t> qubit_frontier(
+        static_cast<std::size_t>(numQubits_), 0);
+    std::vector<std::int64_t> bit_frontier(
+        static_cast<std::size_t>(numBits_), 0);
+    std::int64_t total = 0;
+    for (const auto &g : gates_) {
+        std::int64_t start = 0;
+        for (int i = 0; i < g.arity(); ++i)
+            start = std::max(
+                start,
+                qubit_frontier[static_cast<std::size_t>(
+                    g.qubits[static_cast<size_t>(i)])]);
+        if (g.condBit != kNoBit)
+            start = std::max(
+                start, bit_frontier[static_cast<std::size_t>(g.condBit)]);
+        const std::int64_t end = start + latency(g);
+        for (int i = 0; i < g.arity(); ++i)
+            qubit_frontier[static_cast<std::size_t>(
+                g.qubits[static_cast<size_t>(i)])] = end;
+        if (g.cbit != kNoBit)
+            bit_frontier[static_cast<std::size_t>(g.cbit)] = end;
+        total = std::max(total, end);
+    }
+    return total;
+}
+
+std::int64_t
+Circuit::unitDepth() const
+{
+    return depth([](const Gate &) { return std::int64_t{1}; });
+}
+
+std::vector<std::int64_t>
+Circuit::referenceCounts() const
+{
+    std::vector<std::int64_t> counts(
+        static_cast<std::size_t>(numQubits_), 0);
+    for (const auto &g : gates_)
+        for (int i = 0; i < g.arity(); ++i)
+            ++counts[static_cast<std::size_t>(
+                g.qubits[static_cast<size_t>(i)])];
+    return counts;
+}
+
+} // namespace lsqca

@@ -1,0 +1,107 @@
+#ifndef LSQCA_CIRCUIT_GATE_H
+#define LSQCA_CIRCUIT_GATE_H
+
+/**
+ * @file
+ * Gate-level IR for logical quantum circuits.
+ *
+ * The gate set is the FTQC-friendly universal set of Sec. II-C plus the
+ * Toffoli/temporary-AND macros that benchmark synthesis uses before
+ * Clifford+T lowering. Classical bits support the measurement-based
+ * gadgets (T teleportation, AND uncomputation).
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "geom/grid.h"
+
+namespace lsqca {
+
+/** Index of a classical bit in a circuit's classical store. */
+using ClassicalBit = std::int32_t;
+
+/** Sentinel for "no classical bit". */
+inline constexpr ClassicalBit kNoBit = -1;
+
+/** Logical gate kinds understood by the IR and state-vector simulator. */
+enum class GateKind : std::uint8_t
+{
+    // Pauli unitaries (negligible FTQC latency; trackable in Pauli frame).
+    X, Y, Z,
+    // Clifford unitaries.
+    H, S, Sdg, CX, CZ, Swap,
+    // Non-Clifford unitaries.
+    T, Tdg,
+    // Macros lowered before translation to the LSQCA ISA.
+    CCX,        ///< Toffoli on (control, control, target).
+    AndInit,    ///< Temporary AND: (a, b, t): |t>=|0> -> |a AND b>. 4 T.
+    AndUncompute, ///< Inverse via MX + conditional CZ. 0 T.
+    // State preparation.
+    PrepZ, PrepX,
+    // Measurement (writes the gate's classical bit).
+    MeasZ, MeasX,
+};
+
+/** Number of qubit operands a gate kind takes. */
+constexpr int
+gateArity(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::X: case GateKind::Y: case GateKind::Z:
+      case GateKind::H: case GateKind::S: case GateKind::Sdg:
+      case GateKind::T: case GateKind::Tdg:
+      case GateKind::PrepZ: case GateKind::PrepX:
+      case GateKind::MeasZ: case GateKind::MeasX:
+        return 1;
+      case GateKind::CX: case GateKind::CZ: case GateKind::Swap:
+        return 2;
+      case GateKind::CCX: case GateKind::AndInit:
+      case GateKind::AndUncompute:
+        return 3;
+    }
+    return 0;
+}
+
+/** True for the non-Clifford gates that consume magic states directly. */
+constexpr bool
+isTLike(GateKind kind)
+{
+    return kind == GateKind::T || kind == GateKind::Tdg;
+}
+
+/** True for measurement gates (they write a classical bit). */
+constexpr bool
+isMeasurement(GateKind kind)
+{
+    return kind == GateKind::MeasZ || kind == GateKind::MeasX;
+}
+
+/** Short mnemonic, e.g. "cx". */
+const char *gateName(GateKind kind);
+
+/**
+ * One gate application.
+ *
+ * @c qubits holds gateArity(kind) operands (controls first). @c cbit is
+ * the classical destination for measurements. @c condBit, when valid,
+ * gates execution on that classical bit being one (measurement-based
+ * corrections).
+ */
+struct Gate
+{
+    GateKind kind = GateKind::X;
+    std::array<QubitId, 3> qubits{kNoQubit, kNoQubit, kNoQubit};
+    ClassicalBit cbit = kNoBit;
+    ClassicalBit condBit = kNoBit;
+
+    int arity() const { return gateArity(kind); }
+
+    /** Human-readable rendering, e.g. "cx q3, q7". */
+    std::string str() const;
+};
+
+} // namespace lsqca
+
+#endif // LSQCA_CIRCUIT_GATE_H

@@ -1,0 +1,102 @@
+#include "circuit/qasm.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace lsqca {
+namespace {
+
+/** QASM register reference "name[offset]" for qubit @p q. */
+std::string
+qref(const Circuit &circuit, QubitId q)
+{
+    const std::int32_t reg = circuit.registerOf(q);
+    if (reg < 0)
+        return "q[" + std::to_string(q) + "]";
+    const auto &r =
+        circuit.registers()[static_cast<std::size_t>(reg)];
+    return r.name + "[" + std::to_string(q - r.first) + "]";
+}
+
+} // namespace
+
+std::string
+toQasm(const Circuit &circuit)
+{
+    std::ostringstream oss;
+    oss << "OPENQASM 2.0;\n";
+    oss << "include \"qelib1.inc\";\n";
+    if (circuit.registers().empty() && circuit.numQubits() > 0)
+        oss << "qreg q[" << circuit.numQubits() << "];\n";
+    for (const auto &r : circuit.registers())
+        oss << "qreg " << r.name << "[" << r.size << "];\n";
+    for (ClassicalBit b = 0; b < circuit.numClassicalBits(); ++b)
+        oss << "creg c" << b << "[1];\n";
+
+    for (const auto &g : circuit.gates()) {
+        std::string prefix;
+        if (g.condBit != kNoBit)
+            prefix = "if (c" + std::to_string(g.condBit) + " == 1) ";
+        const std::string q0 = qref(circuit, g.qubits[0]);
+        const std::string q1 =
+            g.arity() >= 2 ? qref(circuit, g.qubits[1]) : "";
+        const std::string q2 =
+            g.arity() >= 3 ? qref(circuit, g.qubits[2]) : "";
+        switch (g.kind) {
+          case GateKind::X: oss << prefix << "x " << q0 << ";\n"; break;
+          case GateKind::Y: oss << prefix << "y " << q0 << ";\n"; break;
+          case GateKind::Z: oss << prefix << "z " << q0 << ";\n"; break;
+          case GateKind::H: oss << prefix << "h " << q0 << ";\n"; break;
+          case GateKind::S: oss << prefix << "s " << q0 << ";\n"; break;
+          case GateKind::Sdg:
+            oss << prefix << "sdg " << q0 << ";\n";
+            break;
+          case GateKind::T: oss << prefix << "t " << q0 << ";\n"; break;
+          case GateKind::Tdg:
+            oss << prefix << "tdg " << q0 << ";\n";
+            break;
+          case GateKind::CX:
+            oss << prefix << "cx " << q0 << ", " << q1 << ";\n";
+            break;
+          case GateKind::CZ:
+            oss << prefix << "cz " << q0 << ", " << q1 << ";\n";
+            break;
+          case GateKind::Swap:
+            oss << prefix << "swap " << q0 << ", " << q1 << ";\n";
+            break;
+          case GateKind::CCX:
+            oss << prefix << "ccx " << q0 << ", " << q1 << ", " << q2
+                << ";\n";
+            break;
+          case GateKind::AndInit:
+            oss << prefix << "ccx " << q0 << ", " << q1 << ", " << q2
+                << "; // temporary AND (4T)\n";
+            break;
+          case GateKind::AndUncompute:
+            oss << prefix << "ccx " << q0 << ", " << q1 << ", " << q2
+                << "; // AND uncompute (measure-based)\n";
+            break;
+          case GateKind::PrepZ:
+            oss << prefix << "reset " << q0 << ";\n";
+            break;
+          case GateKind::PrepX:
+            oss << prefix << "reset " << q0 << ";\n"
+                << prefix << "h " << q0 << ";\n";
+            break;
+          case GateKind::MeasZ:
+            oss << prefix << "measure " << q0 << " -> c" << g.cbit
+                << "[0];\n";
+            break;
+          case GateKind::MeasX:
+            oss << prefix << "h " << q0 << ";\n"
+                << prefix << "measure " << q0 << " -> c" << g.cbit
+                << "[0];\n"
+                << prefix << "h " << q0 << ";\n";
+            break;
+        }
+    }
+    return oss.str();
+}
+
+} // namespace lsqca

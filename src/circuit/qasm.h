@@ -1,0 +1,28 @@
+#ifndef LSQCA_CIRCUIT_QASM_H
+#define LSQCA_CIRCUIT_QASM_H
+
+/**
+ * @file
+ * OpenQASM 2.0 export for circuits — the interchange surface toward
+ * external toolchains (the benchmarks originate from QASMBench, so the
+ * reverse direction closes the loop for inspection and cross-checks).
+ *
+ * Each named register maps to a qreg; every classical bit becomes its
+ * own 1-bit creg so classically-conditioned gates translate to QASM2
+ * `if (c==1)` statements. Toffoli-family macros emit `ccx` (AndInit /
+ * AndUncompute carry an annotation comment); lower the circuit first if
+ * a strict Clifford+T stream is needed.
+ */
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace lsqca {
+
+/** Render @p circuit as an OpenQASM 2.0 program. */
+std::string toQasm(const Circuit &circuit);
+
+} // namespace lsqca
+
+#endif // LSQCA_CIRCUIT_QASM_H

@@ -1,0 +1,303 @@
+#include "circuit/statevector.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace lsqca {
+namespace {
+
+constexpr std::complex<double> kI{0.0, 1.0};
+
+} // namespace
+
+StateVector::StateVector(std::int32_t num_qubits, std::uint64_t seed)
+    : numQubits_(num_qubits), rng_(seed)
+{
+    LSQCA_REQUIRE(num_qubits > 0, "state vector needs at least one qubit");
+    LSQCA_REQUIRE(num_qubits <= kMaxQubits,
+                  "state vector capacity exceeded (max " +
+                      std::to_string(kMaxQubits) + " qubits)");
+    amps_.assign(std::uint64_t{1} << num_qubits, {0.0, 0.0});
+    amps_[0] = {1.0, 0.0};
+}
+
+std::uint64_t
+StateVector::stride(QubitId q) const
+{
+    LSQCA_REQUIRE(q >= 0 && q < numQubits_, "qubit out of range");
+    return std::uint64_t{1} << q;
+}
+
+StateVector::Amplitude
+StateVector::amplitude(std::uint64_t index) const
+{
+    LSQCA_REQUIRE(index < amps_.size(), "basis index out of range");
+    return amps_[index];
+}
+
+double
+StateVector::probability(std::uint64_t index) const
+{
+    return std::norm(amplitude(index));
+}
+
+double
+StateVector::probabilityOne(QubitId q) const
+{
+    const std::uint64_t bit = stride(q);
+    double p = 0.0;
+    for (std::uint64_t i = 0; i < amps_.size(); ++i)
+        if (i & bit)
+            p += std::norm(amps_[i]);
+    return p;
+}
+
+double
+StateVector::norm() const
+{
+    double n = 0.0;
+    for (const auto &a : amps_)
+        n += std::norm(a);
+    return n;
+}
+
+double
+StateVector::fidelity(const StateVector &other) const
+{
+    LSQCA_REQUIRE(other.amps_.size() == amps_.size(),
+                  "fidelity requires equal qubit counts");
+    Amplitude overlap{0.0, 0.0};
+    for (std::uint64_t i = 0; i < amps_.size(); ++i)
+        overlap += std::conj(other.amps_[i]) * amps_[i];
+    return std::norm(overlap);
+}
+
+void
+StateVector::apply1(QubitId q, const Amplitude m00, const Amplitude m01,
+                    const Amplitude m10, const Amplitude m11)
+{
+    const std::uint64_t bit = stride(q);
+    for (std::uint64_t base = 0; base < amps_.size(); ++base) {
+        if (base & bit)
+            continue;
+        const Amplitude a0 = amps_[base];
+        const Amplitude a1 = amps_[base | bit];
+        amps_[base] = m00 * a0 + m01 * a1;
+        amps_[base | bit] = m10 * a0 + m11 * a1;
+    }
+}
+
+void
+StateVector::applyX(QubitId q)
+{
+    apply1(q, 0, 1, 1, 0);
+}
+
+void
+StateVector::applyY(QubitId q)
+{
+    apply1(q, 0, -kI, kI, 0);
+}
+
+void
+StateVector::applyZ(QubitId q)
+{
+    apply1(q, 1, 0, 0, -1);
+}
+
+void
+StateVector::applyH(QubitId q)
+{
+    const double r = 1.0 / std::numbers::sqrt2;
+    apply1(q, r, r, r, -r);
+}
+
+void
+StateVector::applyS(QubitId q)
+{
+    apply1(q, 1, 0, 0, kI);
+}
+
+void
+StateVector::applySdg(QubitId q)
+{
+    apply1(q, 1, 0, 0, -kI);
+}
+
+void
+StateVector::applyT(QubitId q)
+{
+    apply1(q, 1, 0, 0, std::polar(1.0, std::numbers::pi / 4));
+}
+
+void
+StateVector::applyTdg(QubitId q)
+{
+    apply1(q, 1, 0, 0, std::polar(1.0, -std::numbers::pi / 4));
+}
+
+void
+StateVector::applyCX(QubitId control, QubitId target)
+{
+    const std::uint64_t cbit = stride(control);
+    const std::uint64_t tbit = stride(target);
+    LSQCA_REQUIRE(control != target, "cx operands must differ");
+    for (std::uint64_t i = 0; i < amps_.size(); ++i)
+        if ((i & cbit) && !(i & tbit))
+            std::swap(amps_[i], amps_[i | tbit]);
+}
+
+void
+StateVector::applyCZ(QubitId a, QubitId b)
+{
+    const std::uint64_t abit = stride(a);
+    const std::uint64_t bbit = stride(b);
+    LSQCA_REQUIRE(a != b, "cz operands must differ");
+    for (std::uint64_t i = 0; i < amps_.size(); ++i)
+        if ((i & abit) && (i & bbit))
+            amps_[i] = -amps_[i];
+}
+
+void
+StateVector::applySwap(QubitId a, QubitId b)
+{
+    const std::uint64_t abit = stride(a);
+    const std::uint64_t bbit = stride(b);
+    LSQCA_REQUIRE(a != b, "swap operands must differ");
+    for (std::uint64_t i = 0; i < amps_.size(); ++i)
+        if ((i & abit) && !(i & bbit))
+            std::swap(amps_[i], amps_[(i & ~abit) | bbit]);
+}
+
+void
+StateVector::applyCCX(QubitId c0, QubitId c1, QubitId target)
+{
+    const std::uint64_t b0 = stride(c0);
+    const std::uint64_t b1 = stride(c1);
+    const std::uint64_t tbit = stride(target);
+    LSQCA_REQUIRE(c0 != c1 && c0 != target && c1 != target,
+                  "ccx operands must differ");
+    for (std::uint64_t i = 0; i < amps_.size(); ++i)
+        if ((i & b0) && (i & b1) && !(i & tbit))
+            std::swap(amps_[i], amps_[i | tbit]);
+}
+
+bool
+StateVector::measureZ(QubitId q)
+{
+    const double p1 = probabilityOne(q);
+    const bool outcome = rng_.chance(p1);
+    const std::uint64_t bit = stride(q);
+    const double keep = outcome ? p1 : 1.0 - p1;
+    LSQCA_ASSERT(keep > 1e-12, "measurement of an impossible outcome");
+    const double scale = 1.0 / std::sqrt(keep);
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+        const bool is_one = (i & bit) != 0;
+        if (is_one == outcome)
+            amps_[i] *= scale;
+        else
+            amps_[i] = {0.0, 0.0};
+    }
+    return outcome;
+}
+
+bool
+StateVector::measureX(QubitId q)
+{
+    applyH(q);
+    const bool outcome = measureZ(q);
+    applyH(q);
+    return outcome;
+}
+
+void
+StateVector::resetZ(QubitId q)
+{
+    if (measureZ(q))
+        applyX(q);
+}
+
+void
+StateVector::resetX(QubitId q)
+{
+    resetZ(q);
+    applyH(q);
+}
+
+void
+StateVector::applyGate(const Gate &gate, std::vector<std::uint8_t> &bits)
+{
+    if (gate.condBit != kNoBit) {
+        LSQCA_REQUIRE(static_cast<std::size_t>(gate.condBit) < bits.size(),
+                      "condition bit not yet written");
+        if (!bits[static_cast<std::size_t>(gate.condBit)])
+            return;
+    }
+    const QubitId q0 = gate.qubits[0];
+    const QubitId q1 = gate.qubits[1];
+    const QubitId q2 = gate.qubits[2];
+    switch (gate.kind) {
+      case GateKind::X: applyX(q0); break;
+      case GateKind::Y: applyY(q0); break;
+      case GateKind::Z: applyZ(q0); break;
+      case GateKind::H: applyH(q0); break;
+      case GateKind::S: applyS(q0); break;
+      case GateKind::Sdg: applySdg(q0); break;
+      case GateKind::T: applyT(q0); break;
+      case GateKind::Tdg: applyTdg(q0); break;
+      case GateKind::CX: applyCX(q0, q1); break;
+      case GateKind::CZ: applyCZ(q0, q1); break;
+      case GateKind::Swap: applySwap(q0, q1); break;
+      case GateKind::CCX: applyCCX(q0, q1, q2); break;
+      // Macro semantics: AND == CCX on a |0> target; uncompute is the
+      // inverse on a target holding a AND b.
+      case GateKind::AndInit: applyCCX(q0, q1, q2); break;
+      case GateKind::AndUncompute: applyCCX(q0, q1, q2); break;
+      case GateKind::PrepZ: resetZ(q0); break;
+      case GateKind::PrepX: resetX(q0); break;
+      case GateKind::MeasZ: {
+        const bool outcome = measureZ(q0);
+        if (static_cast<std::size_t>(gate.cbit) >= bits.size())
+            bits.resize(static_cast<std::size_t>(gate.cbit) + 1, 0);
+        bits[static_cast<std::size_t>(gate.cbit)] = outcome ? 1 : 0;
+        break;
+      }
+      case GateKind::MeasX: {
+        const bool outcome = measureX(q0);
+        if (static_cast<std::size_t>(gate.cbit) >= bits.size())
+            bits.resize(static_cast<std::size_t>(gate.cbit) + 1, 0);
+        bits[static_cast<std::size_t>(gate.cbit)] = outcome ? 1 : 0;
+        break;
+      }
+    }
+}
+
+StateVectorRun
+runStateVector(const Circuit &circuit,
+               const std::vector<QubitId> &initial_ones, std::uint64_t seed)
+{
+    StateVectorRun run{StateVector(circuit.numQubits(), seed), {}};
+    run.bits.assign(static_cast<std::size_t>(circuit.numClassicalBits()),
+                    0);
+    for (QubitId q : initial_ones)
+        run.state.applyX(q);
+    for (const auto &g : circuit.gates())
+        run.state.applyGate(g, run.bits);
+    return run;
+}
+
+std::vector<bool>
+runClassical(const Circuit &circuit, const std::vector<QubitId> &initial_ones,
+             const std::vector<QubitId> &outputs, std::uint64_t seed)
+{
+    auto run = runStateVector(circuit, initial_ones, seed);
+    std::vector<bool> result;
+    result.reserve(outputs.size());
+    for (QubitId q : outputs)
+        result.push_back(run.state.measureZ(q));
+    return result;
+}
+
+} // namespace lsqca

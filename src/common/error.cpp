@@ -1,0 +1,27 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace lsqca {
+namespace detail {
+
+void
+throwConfigError(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << msg << " [" << file << ":" << line << "]";
+    throw ConfigError(oss.str());
+}
+
+void
+throwInternalError(const char *file, int line, const char *expr,
+                   const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << msg << " (assertion `" << expr << "` failed) [" << file << ":"
+        << line << "]";
+    throw InternalError(oss.str());
+}
+
+} // namespace detail
+} // namespace lsqca

@@ -1,0 +1,50 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace lsqca {
+namespace {
+
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+std::mutex emitMutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info:  return "INFO ";
+      case LogLevel::Warn:  return "WARN ";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off:   return "OFF  ";
+    }
+    return "?????";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+logEmit(LogLevel level, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(emitMutex);
+    std::cerr << "[lsqca:" << levelName(level) << "] " << msg << '\n';
+}
+
+} // namespace detail
+} // namespace lsqca

@@ -1,0 +1,75 @@
+#ifndef LSQCA_COMMON_LOGGING_H
+#define LSQCA_COMMON_LOGGING_H
+
+/**
+ * @file
+ * Minimal leveled logging for library diagnostics.
+ *
+ * Messages go to stderr; the global level defaults to Warn so library code
+ * is silent in normal operation. Benches and examples raise it to Info.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace lsqca {
+
+/** Severity levels, ordered; messages below the global level are dropped. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Set the process-wide log level. Thread-safe. */
+void setLogLevel(LogLevel level);
+
+/** Current process-wide log level. */
+LogLevel logLevel();
+
+namespace detail {
+
+/** Emit one formatted record to stderr if @p level passes the filter. */
+void logEmit(LogLevel level, const std::string &msg);
+
+} // namespace detail
+
+/** Log a message at the given level using stream syntax internally. */
+template <typename... Args>
+void
+logMessage(LogLevel level, Args &&...args)
+{
+    if (level < logLevel())
+        return;
+    std::ostringstream oss;
+    (oss << ... << args);
+    detail::logEmit(level, oss.str());
+}
+
+template <typename... Args>
+void
+logDebug(Args &&...args)
+{
+    logMessage(LogLevel::Debug, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void
+logInfo(Args &&...args)
+{
+    logMessage(LogLevel::Info, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void
+logWarn(Args &&...args)
+{
+    logMessage(LogLevel::Warn, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void
+logError(Args &&...args)
+{
+    logMessage(LogLevel::Error, std::forward<Args>(args)...);
+}
+
+} // namespace lsqca
+
+#endif // LSQCA_COMMON_LOGGING_H

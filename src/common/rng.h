@@ -1,0 +1,113 @@
+#ifndef LSQCA_COMMON_RNG_H
+#define LSQCA_COMMON_RNG_H
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * A self-contained xoshiro256** implementation so simulator runs are
+ * reproducible across platforms and standard-library versions (std::mt19937
+ * distributions are not bit-stable across implementations).
+ */
+
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace lsqca {
+
+/**
+ * Deterministic 64-bit PRNG (xoshiro256**), seeded via splitmix64.
+ *
+ * Satisfies the UniformRandomBitGenerator concept, but prefer the member
+ * helpers so results stay platform-stable.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed; every seed gives a distinct stream. */
+    explicit Rng(std::uint64_t seed = 0x1234'5678'9abc'def0ULL)
+    {
+        // splitmix64 seed expansion, as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        LSQCA_REQUIRE(bound > 0, "Rng::below requires bound > 0");
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t limit = max() - max() % bound;
+        std::uint64_t draw;
+        do {
+            draw = (*this)();
+        } while (draw >= limit);
+        return draw % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        LSQCA_REQUIRE(lo <= hi, "Rng::between requires lo <= hi");
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(span == 0 ? (*this)()
+                                                        : below(span));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        // 53 high bits -> mantissa, the standard conversion.
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace lsqca
+
+#endif // LSQCA_COMMON_RNG_H

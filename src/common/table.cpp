@@ -1,0 +1,112 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace lsqca {
+namespace {
+
+bool
+needsQuoting(const std::string &cell)
+{
+    return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (!needsQuoting(cell))
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    LSQCA_REQUIRE(!headers_.empty(), "TextTable needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    LSQCA_REQUIRE(cells.size() == headers_.size(),
+                  "TextTable row arity mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+TextTable::render(const std::string &title) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream oss;
+    if (!title.empty())
+        oss << "== " << title << " ==\n";
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << std::left << std::setw(static_cast<int>(widths[c]))
+                << row[c];
+            oss << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+    emitRow(headers_);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 == widths.size() ? 0 : 2);
+    oss << std::string(rule, '-') << '\n';
+    for (const auto &row : rows_)
+        emitRow(row);
+    return oss.str();
+}
+
+std::string
+TextTable::csv() const
+{
+    std::ostringstream oss;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << csvEscape(row[c]);
+            oss << (c + 1 == row.size() ? "\n" : ",");
+        }
+    };
+    emitRow(headers_);
+    for (const auto &row : rows_)
+        emitRow(row);
+    return oss.str();
+}
+
+void
+TextTable::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    LSQCA_REQUIRE(out.good(), "cannot open CSV output file: " + path);
+    out << csv();
+}
+
+} // namespace lsqca

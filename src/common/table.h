@@ -1,0 +1,49 @@
+#ifndef LSQCA_COMMON_TABLE_H
+#define LSQCA_COMMON_TABLE_H
+
+/**
+ * @file
+ * Text table and CSV emission for the bench harness.
+ *
+ * Every figure/table bench prints a human-readable aligned table to stdout
+ * and can optionally mirror the same rows to a CSV file for plotting.
+ */
+
+#include <string>
+#include <vector>
+
+namespace lsqca {
+
+/** Row-oriented table with aligned console rendering and CSV export. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with fixed precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Render with padded columns, a header rule, and optional title. */
+    std::string render(const std::string &title = "") const;
+
+    /** Render as RFC-4180-ish CSV (quotes only when needed). */
+    std::string csv() const;
+
+    /** Write csv() to a file; throws ConfigError when unwritable. */
+    void writeCsv(const std::string &path) const;
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return headers_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace lsqca
+
+#endif // LSQCA_COMMON_TABLE_H

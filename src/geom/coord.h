@@ -1,0 +1,77 @@
+#ifndef LSQCA_GEOM_COORD_H
+#define LSQCA_GEOM_COORD_H
+
+/**
+ * @file
+ * Integer 2-D coordinates for surface-code cell grids.
+ *
+ * Convention used throughout the repository: @c row grows downward,
+ * @c col grows rightward; the CR region sits at col < 0 relative to a SAM
+ * bank, so "toward the port" means decreasing column.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <ostream>
+
+namespace lsqca {
+
+/** A cell position on a 2-D logical-qubit grid. */
+struct Coord
+{
+    std::int32_t row = 0;
+    std::int32_t col = 0;
+
+    friend bool operator==(const Coord &, const Coord &) = default;
+
+    Coord
+    operator+(const Coord &o) const
+    {
+        return {row + o.row, col + o.col};
+    }
+
+    Coord
+    operator-(const Coord &o) const
+    {
+        return {row - o.row, col - o.col};
+    }
+};
+
+/** L1 distance — the number of nearest-neighbor steps between cells. */
+inline std::int32_t
+manhattan(const Coord &a, const Coord &b)
+{
+    return std::abs(a.row - b.row) + std::abs(a.col - b.col);
+}
+
+/** L-infinity distance — diagonal-allowed step count. */
+inline std::int32_t
+chebyshev(const Coord &a, const Coord &b)
+{
+    return std::max(std::abs(a.row - b.row), std::abs(a.col - b.col));
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, const Coord &c)
+{
+    return os << "(" << c.row << "," << c.col << ")";
+}
+
+} // namespace lsqca
+
+template <>
+struct std::hash<lsqca::Coord>
+{
+    std::size_t
+    operator()(const lsqca::Coord &c) const noexcept
+    {
+        // Pack into 64 bits; rows/cols are far below 2^32 in practice.
+        const auto r = static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(c.row));
+        const auto k = (r << 32) ^ static_cast<std::uint32_t>(c.col);
+        return std::hash<std::uint64_t>{}(k);
+    }
+};
+
+#endif // LSQCA_GEOM_COORD_H

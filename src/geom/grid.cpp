@@ -1,0 +1,165 @@
+#include "geom/grid.h"
+
+#include <limits>
+
+namespace lsqca {
+
+OccupancyGrid::OccupancyGrid(std::int32_t rows, std::int32_t cols)
+    : rows_(rows), cols_(cols),
+      cells_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+             kNoQubit)
+{
+    LSQCA_REQUIRE(rows > 0 && cols > 0,
+                  "OccupancyGrid dimensions must be positive");
+}
+
+bool
+OccupancyGrid::contains(const Coord &c) const
+{
+    return c.row >= 0 && c.row < rows_ && c.col >= 0 && c.col < cols_;
+}
+
+std::size_t
+OccupancyGrid::index(const Coord &c) const
+{
+    LSQCA_ASSERT(contains(c), "grid coordinate out of range");
+    return static_cast<std::size_t>(c.row) * static_cast<std::size_t>(cols_)
+           + static_cast<std::size_t>(c.col);
+}
+
+QubitId
+OccupancyGrid::at(const Coord &c) const
+{
+    return cells_[index(c)];
+}
+
+void
+OccupancyGrid::place(QubitId q, const Coord &c)
+{
+    LSQCA_REQUIRE(q != kNoQubit, "cannot place the sentinel qubit");
+    LSQCA_REQUIRE(!positions_.count(q), "qubit already placed");
+    auto &cell = cells_[index(c)];
+    LSQCA_REQUIRE(cell == kNoQubit, "cell already occupied");
+    cell = q;
+    positions_.emplace(q, c);
+    ++occupied_;
+}
+
+Coord
+OccupancyGrid::remove(QubitId q)
+{
+    const auto it = positions_.find(q);
+    LSQCA_REQUIRE(it != positions_.end(), "qubit not placed");
+    const Coord c = it->second;
+    cells_[index(c)] = kNoQubit;
+    positions_.erase(it);
+    --occupied_;
+    return c;
+}
+
+void
+OccupancyGrid::relocate(QubitId q, const Coord &to)
+{
+    auto &dest = cells_[index(to)];
+    LSQCA_REQUIRE(dest == kNoQubit, "relocate destination occupied");
+    const auto it = positions_.find(q);
+    LSQCA_REQUIRE(it != positions_.end(), "qubit not placed");
+    cells_[index(it->second)] = kNoQubit;
+    dest = q;
+    it->second = to;
+}
+
+std::optional<Coord>
+OccupancyGrid::find(QubitId q) const
+{
+    const auto it = positions_.find(q);
+    if (it == positions_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+Coord
+OccupancyGrid::locate(QubitId q) const
+{
+    const auto pos = find(q);
+    LSQCA_REQUIRE(pos.has_value(), "qubit not placed in grid");
+    return *pos;
+}
+
+std::optional<Coord>
+OccupancyGrid::nearestEmpty(const Coord &target) const
+{
+    std::optional<Coord> best;
+    std::int32_t best_dist = std::numeric_limits<std::int32_t>::max();
+    for (std::int32_t r = 0; r < rows_; ++r) {
+        for (std::int32_t c = 0; c < cols_; ++c) {
+            const Coord cell{r, c};
+            if (!isEmptyCell(cell))
+                continue;
+            const std::int32_t d = manhattan(cell, target);
+            if (d < best_dist) {
+                best_dist = d;
+                best = cell;
+            }
+        }
+    }
+    return best;
+}
+
+std::optional<Coord>
+OccupancyGrid::nearestEmptyInRow(std::int32_t row,
+                                 std::int32_t target_col) const
+{
+    LSQCA_REQUIRE(row >= 0 && row < rows_, "row out of range");
+    std::optional<Coord> best;
+    std::int32_t best_dist = std::numeric_limits<std::int32_t>::max();
+    for (std::int32_t c = 0; c < cols_; ++c) {
+        const Coord cell{row, c};
+        if (!isEmptyCell(cell))
+            continue;
+        const std::int32_t d = std::abs(c - target_col);
+        if (d < best_dist) {
+            best_dist = d;
+            best = cell;
+        }
+    }
+    return best;
+}
+
+std::int32_t
+OccupancyGrid::makeRoomAt(const Coord &dest)
+{
+    LSQCA_REQUIRE(contains(dest), "makeRoomAt target out of range");
+    if (isEmptyCell(dest))
+        return 0;
+    const auto hole = nearestEmpty(dest);
+    LSQCA_REQUIRE(hole.has_value(), "makeRoomAt on a full grid");
+    Coord cur = *hole;
+    std::int32_t steps = 0;
+    while (!(cur == dest)) {
+        Coord next = cur;
+        if (cur.row != dest.row)
+            next.row += dest.row > cur.row ? 1 : -1;
+        else
+            next.col += dest.col > cur.col ? 1 : -1;
+        const QubitId occupant = at(next);
+        if (occupant != kNoQubit)
+            relocate(occupant, cur);
+        cur = next;
+        ++steps;
+    }
+    return steps;
+}
+
+std::vector<Coord>
+OccupancyGrid::emptyCells() const
+{
+    std::vector<Coord> out;
+    for (std::int32_t r = 0; r < rows_; ++r)
+        for (std::int32_t c = 0; c < cols_; ++c)
+            if (cells_[static_cast<std::size_t>(r * cols_ + c)] == kNoQubit)
+                out.push_back({r, c});
+    return out;
+}
+
+} // namespace lsqca

@@ -1,0 +1,112 @@
+#ifndef LSQCA_GEOM_GRID_H
+#define LSQCA_GEOM_GRID_H
+
+/**
+ * @file
+ * Occupancy grid for a SAM bank: which cell holds which logical qubit,
+ * where the empty (auxiliary) cells are, and nearest-empty queries used by
+ * the locality-aware store policy.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "geom/coord.h"
+
+namespace lsqca {
+
+/** Identifier of a logical qubit (program-level variable index). */
+using QubitId = std::int32_t;
+
+/** Sentinel for "no qubit". */
+inline constexpr QubitId kNoQubit = -1;
+
+/**
+ * Dense rows × cols occupancy grid.
+ *
+ * Cells hold either a QubitId or are empty (auxiliary). The grid offers
+ * placement, removal, relocation, and nearest-empty search; it does not
+ * know about scan cells or latency — that policy lives in src/arch.
+ */
+class OccupancyGrid
+{
+  public:
+    /** Create an all-empty grid. @pre rows, cols > 0 */
+    OccupancyGrid(std::int32_t rows, std::int32_t cols);
+
+    std::int32_t rows() const { return rows_; }
+    std::int32_t cols() const { return cols_; }
+    std::int32_t cellCount() const { return rows_ * cols_; }
+
+    /** Whether @p c lies inside the grid. */
+    bool contains(const Coord &c) const;
+
+    /** Qubit at cell @p c, or kNoQubit. @pre contains(c) */
+    QubitId at(const Coord &c) const;
+
+    bool isEmptyCell(const Coord &c) const { return at(c) == kNoQubit; }
+
+    /** Number of occupied cells. */
+    std::int32_t occupiedCount() const { return occupied_; }
+
+    /** Number of empty cells. */
+    std::int32_t emptyCount() const { return cellCount() - occupied_; }
+
+    /** Place qubit @p q at empty cell @p c. @pre cell empty, q unplaced */
+    void place(QubitId q, const Coord &c);
+
+    /** Remove qubit @p q from the grid; its cell becomes empty. */
+    Coord remove(QubitId q);
+
+    /** Move qubit @p q to empty cell @p to. @pre to is empty */
+    void relocate(QubitId q, const Coord &to);
+
+    /** Position of qubit @p q, if placed. */
+    std::optional<Coord> find(QubitId q) const;
+
+    /** Position of qubit @p q. @pre q is placed */
+    Coord locate(QubitId q) const;
+
+    /**
+     * Empty cell minimizing manhattan distance to @p target (ties broken
+     * by row then column for determinism); nullopt when the grid is full.
+     */
+    std::optional<Coord> nearestEmpty(const Coord &target) const;
+
+    /**
+     * Empty cell in row @p row minimizing |col - target_col|, or nullopt
+     * when the row is full.
+     */
+    std::optional<Coord> nearestEmptyInRow(std::int32_t row,
+                                           std::int32_t target_col) const;
+
+    /** All empty cells, row-major order. */
+    std::vector<Coord> emptyCells() const;
+
+    /**
+     * Vacate cell @p dest by walking the nearest hole to it along a
+     * Manhattan path (rows first), shifting each intervening occupant
+     * one step toward the old hole — the sliding-puzzle insertion used
+     * by locality-aware placement in a near-full memory.
+     *
+     * @return the number of hole steps (0 when @p dest was empty).
+     * @pre the grid has at least one empty cell.
+     */
+    std::int32_t makeRoomAt(const Coord &dest);
+
+  private:
+    std::size_t index(const Coord &c) const;
+
+    std::int32_t rows_;
+    std::int32_t cols_;
+    std::int32_t occupied_ = 0;
+    std::vector<QubitId> cells_;
+    std::unordered_map<QubitId, Coord> positions_;
+};
+
+} // namespace lsqca
+
+#endif // LSQCA_GEOM_GRID_H

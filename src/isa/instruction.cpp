@@ -1,0 +1,90 @@
+#include "isa/instruction.h"
+
+#include <array>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace lsqca {
+namespace {
+
+// Latencies are the fixed Table I values; kVariableLatency entries are
+// resolved by the machine model at issue time.
+constexpr std::array<OpcodeInfo, kNumOpcodes> kOpcodeTable = {{
+    {"LD",    OpClass::Memory,              kVariableLatency, 1, 1, 0},
+    {"ST",    OpClass::Memory,              kVariableLatency, 1, 1, 0},
+    {"PZ.C",  OpClass::Preparation,         0,                0, 1, 0},
+    {"PP.C",  OpClass::Preparation,         0,                0, 1, 0},
+    {"PM",    OpClass::Preparation,         kVariableLatency, 0, 1, 0},
+    {"HD.C",  OpClass::Unitary,             3,                0, 1, 0},
+    {"PH.C",  OpClass::Unitary,             2,                0, 1, 0},
+    {"MX.C",  OpClass::Measurement,         0,                0, 1, 1},
+    {"MZ.C",  OpClass::Measurement,         0,                0, 1, 1},
+    {"MXX.C", OpClass::Measurement,         1,                0, 2, 1},
+    {"MZZ.C", OpClass::Measurement,         1,                0, 2, 1},
+    {"SK",    OpClass::Control,             kVariableLatency, 0, 0, 1},
+    {"PZ.M",  OpClass::InMemoryPreparation, 0,                1, 0, 0},
+    {"PP.M",  OpClass::InMemoryPreparation, 0,                1, 0, 0},
+    {"HD.M",  OpClass::InMemoryUnitary,     kVariableLatency, 1, 0, 0},
+    {"PH.M",  OpClass::InMemoryUnitary,     kVariableLatency, 1, 0, 0},
+    {"MX.M",  OpClass::InMemoryMeasurement, 0,                1, 0, 1},
+    {"MZ.M",  OpClass::InMemoryMeasurement, 0,                1, 0, 1},
+    {"MXX.M", OpClass::InMemoryMeasurement, kVariableLatency, 1, 1, 1},
+    {"MZZ.M", OpClass::InMemoryMeasurement, kVariableLatency, 1, 1, 1},
+    {"CX",    OpClass::OptimizedUnitary,    kVariableLatency, 2, 0, 0},
+    {"CZ",    OpClass::OptimizedUnitary,    kVariableLatency, 2, 0, 0},
+}};
+
+} // namespace
+
+const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    const auto idx = static_cast<std::size_t>(op);
+    LSQCA_ASSERT(idx < kOpcodeTable.size(), "opcode out of range");
+    return kOpcodeTable[idx];
+}
+
+std::string
+Instruction::str() const
+{
+    const OpcodeInfo &info = opcodeInfo(op);
+    std::ostringstream oss;
+    oss << info.mnemonic;
+    bool first = true;
+    auto emit = [&](char prefix, std::int32_t value) {
+        oss << (first ? " " : ", ") << prefix << value;
+        first = false;
+    };
+    // Operand print order follows Table I syntax per opcode.
+    switch (op) {
+      case Opcode::LD:
+        emit('m', m0);
+        emit('c', c0);
+        break;
+      case Opcode::ST:
+        emit('c', c0);
+        emit('m', m0);
+        break;
+      case Opcode::MXX_M:
+      case Opcode::MZZ_M:
+        emit('c', c0);
+        emit('m', m0);
+        break;
+      default: {
+        for (int i = 0; i < info.numReg; ++i)
+            emit('c', i == 0 ? c0 : c1);
+        for (int i = 0; i < info.numMem; ++i)
+            emit('m', i == 0 ? m0 : m1);
+        break;
+      }
+    }
+    if (info.numVal > 0) {
+        oss << (op == Opcode::SK ? (first ? " " : ", ") : " -> ");
+        oss << 'v' << v0;
+        first = false;
+    }
+    return oss.str();
+}
+
+} // namespace lsqca

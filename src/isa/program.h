@@ -1,0 +1,87 @@
+#ifndef LSQCA_ISA_PROGRAM_H
+#define LSQCA_ISA_PROGRAM_H
+
+/**
+ * @file
+ * Container for translated LSQCA programs.
+ *
+ * A Program is portable object code: it references variables, CR slots,
+ * and classical values but never concrete cell positions, so the same
+ * Program runs on any point-/line-/hybrid-SAM instance (the paper's
+ * program-portability contribution, Sec. VII-B).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace lsqca {
+
+/** A named contiguous variable range (mirrors circuit registers). */
+struct VariableRegister
+{
+    std::string name;
+    std::int32_t first = 0;
+    std::int32_t size = 0;
+};
+
+/** An LSQCA instruction sequence plus symbol-table metadata. */
+class Program
+{
+  public:
+    Program() = default;
+
+    /** Create a program over @p num_variables memory variables. */
+    explicit Program(std::int32_t num_variables);
+
+    std::int32_t numVariables() const { return numVariables_; }
+    std::int32_t numValues() const { return numValues_; }
+    const std::vector<Instruction> &instructions() const { return code_; }
+    const std::vector<VariableRegister> &registers() const { return regs_; }
+
+    /** Declare a named variable register (metadata only). */
+    void addRegister(const std::string &name, std::int32_t first,
+                     std::int32_t size);
+
+    /** Register index owning variable @p m; -1 if anonymous. */
+    std::int32_t registerOf(std::int32_t m) const;
+
+    /** Allocate a fresh classical value slot. */
+    std::int32_t newValue() { return numValues_++; }
+
+    /** Append a validated instruction. */
+    void append(const Instruction &inst);
+
+    std::int64_t size() const
+    {
+        return static_cast<std::int64_t>(code_.size());
+    }
+
+    /**
+     * Number of instructions counted in CPI denominators: logical
+     * commands excluding LD/ST traffic, so CPI ratios between
+     * architectures equal execution-time ratios (see DESIGN.md §4.11).
+     */
+    std::int64_t countedInstructions() const;
+
+    /** Number of PM instructions == magic states consumed. */
+    std::int64_t magicCount() const;
+
+    /** Per-variable static reference counts over memory operands. */
+    std::vector<std::int64_t> referenceCounts() const;
+
+    /** Multi-line disassembly (capped at @p max_lines, 0 = all). */
+    std::string disassemble(std::size_t max_lines = 0) const;
+
+  private:
+    std::int32_t numVariables_ = 0;
+    std::int32_t numValues_ = 0;
+    std::vector<Instruction> code_;
+    std::vector<VariableRegister> regs_;
+};
+
+} // namespace lsqca
+
+#endif // LSQCA_ISA_PROGRAM_H

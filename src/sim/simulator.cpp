@@ -1,0 +1,766 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "arch/line_sam.h"
+#include "arch/msf.h"
+#include "arch/point_sam.h"
+#include "common/error.h"
+
+namespace lsqca {
+namespace {
+
+/** Where a program variable lives. */
+enum class Region : std::uint8_t { Sam, Conventional };
+
+/**
+ * The machine: bank state + resource timelines + in-order dataflow
+ * issue. One instance per simulate() call.
+ */
+class Machine
+{
+  public:
+    Machine(const Program &prog, const SimOptions &opts)
+        : prog_(prog), opts_(opts), cfg_(opts.arch),
+          magic_(cfg_.factories, cfg_.effectiveBufferCap(),
+                 cfg_.lat.msfPeriod, cfg_.lat.magicTransfer,
+                 cfg_.warmBuffer, cfg_.instantMagic)
+    {
+        cfg_.validate();
+        setupRegions();
+        setupBanks();
+        varReady_.assign(static_cast<std::size_t>(prog.numVariables()), 0);
+        valReady_.assign(static_cast<std::size_t>(prog.numValues()), 0);
+        std::int32_t max_slot = 1;
+        for (const auto &inst : prog.instructions())
+            max_slot = std::max({max_slot, inst.c0, inst.c1});
+        slotReady_.assign(static_cast<std::size_t>(max_slot) + 1, 0);
+        scanFree_.assign(static_cast<std::size_t>(cfg_.banks), 0);
+    }
+
+    SimResult
+    run()
+    {
+        SimResult result;
+        result.floorplan =
+            floorplanStats(cfg_, prog_.numVariables(), numConventional_);
+        std::int64_t limit = prog_.size();
+        if (opts_.maxInstructions > 0)
+            limit = std::min(limit, opts_.maxInstructions);
+        for (std::int64_t i = 0; i < limit; ++i) {
+            const Instruction &inst =
+                prog_.instructions()[static_cast<std::size_t>(i)];
+            const Step step = execute(inst);
+            const auto op_idx = static_cast<std::size_t>(inst.op);
+            ++result.opcodeCount[op_idx];
+            result.opcodeBeats[op_idx] += step.end - step.start;
+            result.memoryBeats += step.memoryBeats;
+            result.execBeats = std::max(result.execBeats, step.end);
+            if (opts_.recordTrace) {
+                const OpcodeInfo &info = opcodeInfo(inst.op);
+                if (info.numMem >= 1)
+                    result.trace.push_back({step.start, inst.m0});
+                if (info.numMem >= 2)
+                    result.trace.push_back({step.start, inst.m1});
+                if (inst.op == Opcode::PM)
+                    result.magicTimes.push_back(step.end);
+                if (step.memoryBeats > 0)
+                    result.motionSamples.push_back(step.memoryBeats);
+            }
+        }
+        result.instructionsSimulated = limit;
+        for (std::int64_t i = 0; i < limit; ++i) {
+            const Opcode op =
+                prog_.instructions()[static_cast<std::size_t>(i)].op;
+            if (op != Opcode::LD && op != Opcode::ST)
+                ++result.countedInstructions;
+        }
+        result.cpi = result.countedInstructions == 0
+                         ? 0.0
+                         : static_cast<double>(result.execBeats) /
+                               static_cast<double>(
+                                   result.countedInstructions);
+        result.magicConsumed = magic_.consumed();
+        result.magicStallBeats = magic_.stallBeats();
+        return result;
+    }
+
+  private:
+    /** Timing outcome of one instruction. */
+    struct Step
+    {
+        std::int64_t start = 0;
+        std::int64_t end = 0;
+        std::int64_t memoryBeats = 0;
+    };
+
+    // ---- setup --------------------------------------------------------
+
+    void
+    setupRegions()
+    {
+        const auto n = static_cast<std::size_t>(prog_.numVariables());
+        region_.assign(n, Region::Sam);
+        bankOf_.assign(n, -1);
+        if (cfg_.sam == SamKind::Conventional) {
+            region_.assign(n, Region::Conventional);
+            numConventional_ = static_cast<std::int64_t>(n);
+            return;
+        }
+        numConventional_ = static_cast<std::int64_t>(
+            cfg_.hybridFraction * static_cast<double>(n) + 0.5);
+        numConventional_ =
+            std::min<std::int64_t>(numConventional_,
+                                   static_cast<std::int64_t>(n));
+        if (numConventional_ > 0) {
+            // The hottest variables by static reference count move into
+            // the conventional region (Sec. VI-C), ties toward lower id.
+            const auto refs = prog_.referenceCounts();
+            std::vector<std::int32_t> order(n);
+            std::iota(order.begin(), order.end(), 0);
+            std::stable_sort(order.begin(), order.end(),
+                             [&refs](std::int32_t a, std::int32_t b) {
+                                 return refs[static_cast<std::size_t>(a)] >
+                                        refs[static_cast<std::size_t>(b)];
+                             });
+            for (std::int64_t i = 0; i < numConventional_; ++i)
+                region_[static_cast<std::size_t>(
+                    order[static_cast<std::size_t>(i)])] =
+                    Region::Conventional;
+        }
+    }
+
+    /**
+     * Within-bank placement order. Interleaved places bit i of every
+     * program register adjacently, so bit-sliced working sets start
+     * co-located ("strategic data allocation").
+     */
+    std::vector<QubitId>
+    placementOrder(std::vector<QubitId> vars) const
+    {
+        if (cfg_.placement == PlacementPolicy::RowMajor)
+            return vars;
+        std::stable_sort(
+            vars.begin(), vars.end(),
+            [this](QubitId a, QubitId b) {
+                const std::int32_t ra = prog_.registerOf(a);
+                const std::int32_t rb = prog_.registerOf(b);
+                const std::int64_t oa =
+                    ra < 0 ? a
+                           : a - prog_.registers()[static_cast<
+                                     std::size_t>(ra)].first;
+                const std::int64_t ob =
+                    rb < 0 ? b
+                           : b - prog_.registers()[static_cast<
+                                     std::size_t>(rb)].first;
+                return std::tie(oa, ra) < std::tie(ob, rb);
+            });
+        return vars;
+    }
+
+    void
+    setupBanks()
+    {
+        if (cfg_.sam == SamKind::Conventional)
+            return;
+        // Deal SAM-resident variables round-robin over the banks
+        // ("distributed sequentially to all the banks in order").
+        std::vector<std::vector<QubitId>> dealt(
+            static_cast<std::size_t>(cfg_.banks));
+        std::int64_t next = 0;
+        for (std::int32_t v = 0; v < prog_.numVariables(); ++v) {
+            if (region_[static_cast<std::size_t>(v)] !=
+                Region::Sam)
+                continue;
+            const auto b = static_cast<std::size_t>(next % cfg_.banks);
+            dealt[b].push_back(v);
+            bankOf_[static_cast<std::size_t>(v)] =
+                static_cast<std::int32_t>(b);
+            ++next;
+        }
+        for (auto &vars : dealt)
+            vars = placementOrder(std::move(vars));
+        pointBanks_.resize(static_cast<std::size_t>(cfg_.banks));
+        lineBanks_.resize(static_cast<std::size_t>(cfg_.banks));
+        for (std::size_t b = 0; b < dealt.size(); ++b) {
+            if (dealt[b].empty())
+                continue;
+            const auto cap =
+                static_cast<std::int32_t>(dealt[b].size());
+            if (cfg_.sam == SamKind::Point) {
+                pointBanks_[b] =
+                    std::make_unique<PointSamBank>(cap, cfg_.lat);
+                pointBanks_[b]->placeInitial(dealt[b]);
+            } else {
+                lineBanks_[b] =
+                    std::make_unique<LineSamBank>(cap, cfg_.lat);
+                lineBanks_[b]->placeInitial(dealt[b]);
+            }
+        }
+    }
+
+    // ---- bank dispatch -------------------------------------------------
+
+    bool
+    isConv(std::int32_t m) const
+    {
+        return region_[static_cast<std::size_t>(m)] ==
+               Region::Conventional;
+    }
+
+    std::int32_t
+    bankOf(std::int32_t m) const
+    {
+        const std::int32_t b = bankOf_[static_cast<std::size_t>(m)];
+        LSQCA_ASSERT(b >= 0, "variable is not SAM-resident");
+        return b;
+    }
+
+    std::int64_t
+    loadCost(std::int32_t m) const
+    {
+        const auto b = static_cast<std::size_t>(bankOf(m));
+        return cfg_.sam == SamKind::Point ? pointBanks_[b]->loadCost(m)
+                                          : lineBanks_[b]->loadCost(m);
+    }
+
+    void
+    commitLoad(std::int32_t m)
+    {
+        const auto b = static_cast<std::size_t>(bankOf(m));
+        if (cfg_.sam == SamKind::Point)
+            pointBanks_[b]->commitLoad(m);
+        else
+            lineBanks_[b]->commitLoad(m);
+    }
+
+    std::int64_t
+    storeCost(std::int32_t m) const
+    {
+        const auto b = static_cast<std::size_t>(bankOf(m));
+        return cfg_.sam == SamKind::Point
+                   ? pointBanks_[b]->storeCost(m, cfg_.localityStore)
+                   : lineBanks_[b]->storeCost(m, cfg_.localityStore);
+    }
+
+    void
+    commitStore(std::int32_t m)
+    {
+        const auto b = static_cast<std::size_t>(bankOf(m));
+        if (cfg_.sam == SamKind::Point)
+            pointBanks_[b]->commitStore(m, cfg_.localityStore);
+        else
+            lineBanks_[b]->commitStore(m, cfg_.localityStore);
+    }
+
+    /** Scan/gap travel for an in-memory single-qubit op. */
+    std::int64_t
+    inMem1qCost(std::int32_t m) const
+    {
+        const auto b = static_cast<std::size_t>(bankOf(m));
+        return cfg_.sam == SamKind::Point ? pointBanks_[b]->seekCost(m)
+                                          : lineBanks_[b]->alignCost(m);
+    }
+
+    void
+    commitInMem1q(std::int32_t m)
+    {
+        const auto b = static_cast<std::size_t>(bankOf(m));
+        if (cfg_.sam == SamKind::Point)
+            pointBanks_[b]->commitSeek(m);
+        else
+            lineBanks_[b]->commitAlign(m);
+    }
+
+    /** Positioning for an in-memory two-qubit op against the CR/port. */
+    std::int64_t
+    inMem2qCost(std::int32_t m) const
+    {
+        const auto b = static_cast<std::size_t>(bankOf(m));
+        return cfg_.sam == SamKind::Point
+                   ? pointBanks_[b]->fetchToPortCost(m)
+                   : lineBanks_[b]->alignCost(m);
+    }
+
+    void
+    commitInMem2q(std::int32_t m)
+    {
+        const auto b = static_cast<std::size_t>(bankOf(m));
+        if (cfg_.sam == SamKind::Point)
+            pointBanks_[b]->commitFetchToPort(m);
+        else
+            lineBanks_[b]->commitAlign(m);
+    }
+
+    // ---- issue helpers --------------------------------------------------
+
+    /** Consume the pending SK barrier (applies to one instruction). */
+    std::int64_t
+    takeBarrier()
+    {
+        const std::int64_t b = barrier_;
+        barrier_ = 0;
+        return b;
+    }
+
+    std::int64_t &
+    scanFree(std::int32_t m)
+    {
+        return scanFree_[static_cast<std::size_t>(bankOf(m))];
+    }
+
+    // ---- per-opcode execution -------------------------------------------
+
+    Step
+    execute(const Instruction &inst)
+    {
+        switch (inst.op) {
+          case Opcode::LD: return execLoad(inst);
+          case Opcode::ST: return execStore(inst);
+          case Opcode::PZ_C:
+          case Opcode::PP_C: return execPrepC(inst);
+          case Opcode::PM: return execMagic(inst);
+          case Opcode::HD_C:
+          case Opcode::PH_C: return execUnitaryC(inst);
+          case Opcode::MX_C:
+          case Opcode::MZ_C: return execMeasC(inst);
+          case Opcode::MXX_C:
+          case Opcode::MZZ_C: return execMeas2C(inst);
+          case Opcode::SK: return execSkip(inst);
+          case Opcode::PZ_M:
+          case Opcode::PP_M:
+          case Opcode::MX_M:
+          case Opcode::MZ_M: return execZeroLatM(inst);
+          case Opcode::HD_M:
+          case Opcode::PH_M: return execUnitaryM(inst);
+          case Opcode::MXX_M:
+          case Opcode::MZZ_M: return execMeas2M(inst);
+          case Opcode::CX:
+          case Opcode::CZ: return execCxCz(inst);
+        }
+        throw InternalError("unhandled opcode");
+    }
+
+    Step
+    execLoad(const Instruction &inst)
+    {
+        auto &slot = slotReady_[static_cast<std::size_t>(inst.c0)];
+        auto &var = varReady_[static_cast<std::size_t>(inst.m0)];
+        if (isConv(inst.m0)) {
+            // Conventional-region qubits are always register-adjacent.
+            const std::int64_t start =
+                std::max({var, slot, takeBarrier()});
+            var = slot = start;
+            return {start, start, 0};
+        }
+        auto &scan = scanFree(inst.m0);
+        const std::int64_t start =
+            std::max({var, slot, scan, takeBarrier()});
+        const std::int64_t cost = loadCost(inst.m0);
+        commitLoad(inst.m0);
+        const std::int64_t end = start + cost;
+        var = slot = scan = end;
+        return {start, end, cost};
+    }
+
+    Step
+    execStore(const Instruction &inst)
+    {
+        auto &slot = slotReady_[static_cast<std::size_t>(inst.c0)];
+        auto &var = varReady_[static_cast<std::size_t>(inst.m0)];
+        if (isConv(inst.m0)) {
+            const std::int64_t start =
+                std::max({var, slot, takeBarrier()});
+            var = slot = start;
+            return {start, start, 0};
+        }
+        auto &scan = scanFree(inst.m0);
+        const std::int64_t start =
+            std::max({var, slot, scan, takeBarrier()});
+        const std::int64_t cost = storeCost(inst.m0);
+        commitStore(inst.m0);
+        const std::int64_t end = start + cost;
+        var = slot = scan = end;
+        return {start, end, cost};
+    }
+
+    Step
+    execPrepC(const Instruction &inst)
+    {
+        auto &slot = slotReady_[static_cast<std::size_t>(inst.c0)];
+        const std::int64_t start = std::max(slot, takeBarrier());
+        slot = start;
+        return {start, start, 0};
+    }
+
+    Step
+    execMagic(const Instruction &inst)
+    {
+        auto &slot = slotReady_[static_cast<std::size_t>(inst.c0)];
+        const std::int64_t req = std::max(slot, takeBarrier());
+        const MagicSource::Grant grant = magic_.acquire(req);
+        slot = grant.end;
+        return {grant.start, grant.end, 0};
+    }
+
+    Step
+    execUnitaryC(const Instruction &inst)
+    {
+        auto &slot = slotReady_[static_cast<std::size_t>(inst.c0)];
+        const std::int64_t start = std::max(slot, takeBarrier());
+        const std::int64_t beats = inst.op == Opcode::HD_C
+                                       ? cfg_.lat.hadamard
+                                       : cfg_.lat.phase;
+        const std::int64_t end = start + beats;
+        slot = end;
+        return {start, end, 0};
+    }
+
+    Step
+    execMeasC(const Instruction &inst)
+    {
+        auto &slot = slotReady_[static_cast<std::size_t>(inst.c0)];
+        const std::int64_t start = std::max(slot, takeBarrier());
+        slot = start;
+        valReady_[static_cast<std::size_t>(inst.v0)] = start;
+        return {start, start, 0};
+    }
+
+    Step
+    execMeas2C(const Instruction &inst)
+    {
+        auto &slot0 = slotReady_[static_cast<std::size_t>(inst.c0)];
+        auto &slot1 = slotReady_[static_cast<std::size_t>(inst.c1)];
+        const std::int64_t start =
+            std::max({slot0, slot1, takeBarrier()});
+        const std::int64_t end = start + cfg_.lat.surgery;
+        slot0 = slot1 = end;
+        valReady_[static_cast<std::size_t>(inst.v0)] = end;
+        return {start, end, 0};
+    }
+
+    Step
+    execSkip(const Instruction &inst)
+    {
+        const std::int64_t start =
+            std::max(valReady_[static_cast<std::size_t>(inst.v0)],
+                     takeBarrier());
+        const std::int64_t end = start + cfg_.lat.skWait;
+        barrier_ = end; // gates only the next instruction
+        return {start, end, 0};
+    }
+
+    Step
+    execZeroLatM(const Instruction &inst)
+    {
+        auto &var = varReady_[static_cast<std::size_t>(inst.m0)];
+        const std::int64_t start = std::max(var, takeBarrier());
+        var = start;
+        if (inst.v0 >= 0)
+            valReady_[static_cast<std::size_t>(inst.v0)] = start;
+        return {start, start, 0};
+    }
+
+    Step
+    execUnitaryM(const Instruction &inst)
+    {
+        const std::int64_t beats = inst.op == Opcode::HD_M
+                                       ? cfg_.lat.hadamard
+                                       : cfg_.lat.phase;
+        auto &var = varReady_[static_cast<std::size_t>(inst.m0)];
+        if (isConv(inst.m0)) {
+            const std::int64_t start = std::max(var, takeBarrier());
+            const std::int64_t end = start + beats;
+            var = end;
+            return {start, end, 0};
+        }
+        auto &scan = scanFree(inst.m0);
+
+        // Row-parallel unitaries (Sec. V-C): a second H/S whose target
+        // shares the currently-open gap-row window executes in the same
+        // window for free.
+        if (cfg_.rowParallelOps && cfg_.inMemoryOps &&
+            cfg_.sam == SamKind::Line && barrier_ == 0 &&
+            rowBatch_.valid && rowBatch_.op == inst.op &&
+            rowBatch_.bank == bankOf(inst.m0)) {
+            const auto b = static_cast<std::size_t>(bankOf(inst.m0));
+            const std::int32_t row =
+                lineBanks_[b]->positionOf(inst.m0).row;
+            if (row == rowBatch_.row && var <= rowBatch_.start) {
+                var = rowBatch_.end;
+                return {rowBatch_.start, rowBatch_.end, 0};
+            }
+        }
+
+        const std::int64_t start = std::max({var, scan, takeBarrier()});
+        std::int64_t motion;
+        if (cfg_.inMemoryOps) {
+            motion = inMem1qCost(inst.m0);
+            commitInMem1q(inst.m0);
+        } else {
+            // Ablation: round-trip through the CR.
+            motion = loadCost(inst.m0);
+            commitLoad(inst.m0);
+            motion += storeCost(inst.m0);
+            commitStore(inst.m0);
+        }
+        const std::int64_t end = start + motion + beats;
+        var = scan = end;
+        if (cfg_.rowParallelOps && cfg_.inMemoryOps &&
+            cfg_.sam == SamKind::Line) {
+            const auto b = static_cast<std::size_t>(bankOf(inst.m0));
+            rowBatch_ = {true, inst.op, bankOf(inst.m0),
+                         lineBanks_[b]->positionOf(inst.m0).row,
+                         start + motion, end};
+        }
+        return {start, end, motion};
+    }
+
+    Step
+    execMeas2M(const Instruction &inst)
+    {
+        auto &slot = slotReady_[static_cast<std::size_t>(inst.c0)];
+        auto &var = varReady_[static_cast<std::size_t>(inst.m0)];
+        if (isConv(inst.m0)) {
+            const std::int64_t start =
+                std::max({var, slot, takeBarrier()});
+            const std::int64_t end = start + cfg_.lat.surgery;
+            var = slot = end;
+            valReady_[static_cast<std::size_t>(inst.v0)] = end;
+            return {start, end, 0};
+        }
+        // Concealment (Fig. 1): the scan motion starts as soon as the
+        // operand and the scan cell are free; the lattice surgery then
+        // begins once BOTH the positioned operand and the CR-side state
+        // (e.g. the magic state PM is fetching) are ready. The memory
+        // latency hides behind the magic-state wait.
+        auto &scan = scanFree(inst.m0);
+        const std::int64_t motion_start =
+            std::max({var, scan, takeBarrier()});
+        std::int64_t motion;
+        if (cfg_.inMemoryOps) {
+            motion = inMem2qCost(inst.m0);
+            commitInMem2q(inst.m0);
+            const std::int64_t surgery_start =
+                std::max(motion_start + motion, slot);
+            const std::int64_t end = surgery_start + cfg_.lat.surgery;
+            var = slot = end;
+            // Point SAM: the operand is parked at the port, so the scan
+            // is free to serve other requests during the magic wait;
+            // line SAM must keep the gap row aligned (it is the merge
+            // path) until the surgery completes.
+            scan = cfg_.sam == SamKind::Point ? motion_start + motion
+                                              : end;
+            valReady_[static_cast<std::size_t>(inst.v0)] = end;
+            return {motion_start, end, motion};
+        }
+        motion = loadCost(inst.m0);
+        commitLoad(inst.m0);
+        const std::int64_t st = storeCost(inst.m0);
+        commitStore(inst.m0);
+        const std::int64_t surgery_start =
+            std::max(motion_start + motion, slot);
+        const std::int64_t end = surgery_start + cfg_.lat.surgery + st;
+        var = slot = scan = end;
+        valReady_[static_cast<std::size_t>(inst.v0)] = end;
+        return {motion_start, end, motion + st};
+    }
+
+    /**
+     * Optimized CX/CZ (Sec. VI-A): at run time the machine loads the
+     * cheaper operand into the CR and touches the other in memory; a
+     * lattice-surgery CNOT/CZ is two 1-beat merges via a free |+>
+     * ancilla at the port.
+     */
+    Step
+    execCxCz(const Instruction &inst)
+    {
+        auto &var0 = varReady_[static_cast<std::size_t>(inst.m0)];
+        auto &var1 = varReady_[static_cast<std::size_t>(inst.m1)];
+        const std::int64_t surgery2 = 2 * cfg_.lat.surgery;
+        const bool conv0 = isConv(inst.m0);
+        const bool conv1 = isConv(inst.m1);
+
+        if (conv0 && conv1) {
+            const std::int64_t start =
+                std::max({var0, var1, takeBarrier()});
+            const std::int64_t end = start + surgery2;
+            var0 = var1 = end;
+            return {start, end, 0};
+        }
+
+        if (conv0 != conv1) {
+            const std::int32_t q = conv0 ? inst.m1 : inst.m0;
+            auto &scan = scanFree(q);
+            const std::int64_t start =
+                std::max({var0, var1, scan, takeBarrier()});
+            std::int64_t motion;
+            if (cfg_.inMemoryOps) {
+                motion = inMem2qCost(q);
+                commitInMem2q(q);
+            } else {
+                motion = loadCost(q);
+                commitLoad(q);
+                motion += storeCost(q);
+                commitStore(q);
+            }
+            const std::int64_t end = start + motion + surgery2;
+            var0 = var1 = scan = end;
+            return {start, end, motion};
+        }
+
+        // Both operands live in SAM.
+        auto &scan0 = scanFree(inst.m0);
+        auto &scan1 = scanFree(inst.m1);
+        const bool same_bank = bankOf(inst.m0) == bankOf(inst.m1);
+        const std::int64_t start =
+            std::max({var0, var1, scan0, scan1, takeBarrier()});
+
+        std::int64_t motion;
+        std::int64_t end;
+        if (!cfg_.inMemoryOps) {
+            // Ablation: round-trip both operands through the CR.
+            const std::int64_t ld0 = loadCost(inst.m0);
+            commitLoad(inst.m0);
+            const std::int64_t ld1 = loadCost(inst.m1);
+            commitLoad(inst.m1);
+            const std::int64_t st0 = storeCost(inst.m0);
+            commitStore(inst.m0);
+            const std::int64_t st1 = storeCost(inst.m1);
+            commitStore(inst.m1);
+            motion = ld0 + ld1 + st0 + st1;
+            if (same_bank) {
+                end = start + motion + surgery2;
+            } else {
+                end = start + std::max(ld0, ld1) + surgery2 +
+                      std::max(st0, st1);
+                scan1 = end;
+            }
+            scan0 = end;
+            if (!same_bank)
+                scan1 = end;
+            var0 = var1 = end;
+            return {start, end, motion};
+        }
+
+        if (same_bank) {
+            const auto b = static_cast<std::size_t>(bankOf(inst.m0));
+            const bool direct =
+                cfg_.directSurgery && cfg_.sam == SamKind::Line &&
+                lineBanks_[b]->canDirectSurgery(inst.m0, inst.m1);
+            if (direct) {
+                // Extension: lattice surgery straight between two data
+                // cells sharing a line; only the gap repositions.
+                motion = lineBanks_[b]->directSurgeryCost(inst.m0,
+                                                          inst.m1);
+                lineBanks_[b]->commitDirectSurgery(inst.m0, inst.m1);
+                end = start + motion + surgery2;
+            } else if (cfg_.sam == SamKind::Point) {
+                // Drag both operands to the port region (they stay in
+                // memory; locality makes later touches cheap). The
+                // port-side surgery itself does not occupy the scan.
+                motion = inMem2qCost(inst.m0);
+                commitInMem2q(inst.m0);
+                motion += inMem2qCost(inst.m1);
+                commitInMem2q(inst.m1);
+                end = start + motion + surgery2;
+                scan0 = start + motion;
+                var0 = var1 = end;
+                return {start, end, motion};
+            } else {
+                // Sec. VI-A translation rule: load the cheaper operand
+                // into the CR, touch the other in memory, and store the
+                // loaded one back — the locality-aware store drops it
+                // into the partner's line (Sec. V-B pairing).
+                const bool load0 =
+                    loadCost(inst.m0) <= loadCost(inst.m1);
+                const std::int32_t loaded = load0 ? inst.m0 : inst.m1;
+                const std::int32_t in_mem = load0 ? inst.m1 : inst.m0;
+                const std::int64_t ld = loadCost(loaded);
+                commitLoad(loaded);
+                const std::int64_t pos = inMem2qCost(in_mem);
+                commitInMem2q(in_mem);
+                const std::int64_t st = storeCost(loaded);
+                commitStore(loaded);
+                motion = ld + pos + st;
+                end = start + motion + surgery2;
+            }
+            scan0 = end;
+        } else {
+            // Cross-bank: each bank positions its operand concurrently;
+            // the merge path runs through the CR ports. Point scans are
+            // released after positioning; line gaps hold their rows.
+            const std::int64_t pos0 = inMem2qCost(inst.m0);
+            commitInMem2q(inst.m0);
+            const std::int64_t pos1 = inMem2qCost(inst.m1);
+            commitInMem2q(inst.m1);
+            motion = pos0 + pos1;
+            end = start + std::max(pos0, pos1) + surgery2;
+            if (cfg_.sam == SamKind::Point) {
+                scan0 = start + pos0;
+                scan1 = start + pos1;
+            } else {
+                scan0 = end;
+                scan1 = end;
+            }
+        }
+        var0 = var1 = end;
+        return {start, end, motion};
+    }
+
+    const Program &prog_;
+    SimOptions opts_;
+    ArchConfig cfg_;
+    MagicSource magic_;
+
+    std::vector<Region> region_;
+    std::vector<std::int32_t> bankOf_;
+    std::int64_t numConventional_ = 0;
+    std::vector<std::unique_ptr<PointSamBank>> pointBanks_;
+    std::vector<std::unique_ptr<LineSamBank>> lineBanks_;
+
+    /** An open row-parallel unitary window (line SAM, Sec. V-C). */
+    struct RowBatch
+    {
+        bool valid = false;
+        Opcode op = Opcode::HD_M;
+        std::int32_t bank = -1;
+        std::int32_t row = -1;
+        std::int64_t start = 0;
+        std::int64_t end = 0;
+    };
+
+    std::vector<std::int64_t> varReady_;
+    std::vector<std::int64_t> valReady_;
+    std::vector<std::int64_t> slotReady_;
+    std::vector<std::int64_t> scanFree_;
+    std::int64_t barrier_ = 0;
+    RowBatch rowBatch_;
+};
+
+} // namespace
+
+SimResult
+simulate(const Program &program, const SimOptions &options)
+{
+    Machine machine(program, options);
+    return machine.run();
+}
+
+SimResult
+simulateConventional(const Program &program, std::int32_t factories,
+                     std::int64_t max_instructions, bool record_trace)
+{
+    SimOptions opts;
+    opts.arch.sam = SamKind::Conventional;
+    opts.arch.factories = factories;
+    opts.maxInstructions = max_instructions;
+    opts.recordTrace = record_trace;
+    return simulate(program, opts);
+}
+
+} // namespace lsqca

@@ -1,0 +1,58 @@
+#ifndef LSQCA_SIM_SIMULATOR_H
+#define LSQCA_SIM_SIMULATOR_H
+
+/**
+ * @file
+ * Code-beat-accurate LSQCA simulator (Sec. VI-A).
+ *
+ * Execution model: instructions issue in program order with dataflow
+ * timing — each starts at the latest of its operand ready times and
+ * resource availabilities, so independent instructions overlap freely
+ * (the paper's "executed in parallel if their instruction targets do not
+ * overlap") while CR register slots, per-bank scan cells, the bounded
+ * magic-state buffer, and SK control dependencies serialize exactly
+ * where the architecture says they must.
+ *
+ * Variable-latency instructions (LD/ST/in-memory forms/CX/CZ) are costed
+ * by the bank models from live grid state, so locality-aware stores and
+ * the access locality of programs shape the latencies organically.
+ */
+
+#include "arch/config.h"
+#include "isa/program.h"
+#include "sim/result.h"
+
+namespace lsqca {
+
+/** Per-run simulation options. */
+struct SimOptions
+{
+    ArchConfig arch;
+
+    /** Simulate only the first N instructions (0 = whole program). */
+    std::int64_t maxInstructions = 0;
+
+    /** Record memory-reference and magic-demand traces (Fig. 8). */
+    bool recordTrace = false;
+};
+
+/**
+ * Run @p program on the configured machine and return timing, CPI,
+ * density, and breakdowns. Deterministic: identical inputs give
+ * identical results.
+ */
+SimResult simulate(const Program &program, const SimOptions &options);
+
+/**
+ * Convenience wrapper: the conventional 1/2-density baseline of
+ * Sec. VI-A (unit-time access, no path conflicts, unlimited ILP) with
+ * @p factories MSFs.
+ */
+SimResult simulateConventional(const Program &program,
+                               std::int32_t factories,
+                               std::int64_t max_instructions = 0,
+                               bool record_trace = false);
+
+} // namespace lsqca
+
+#endif // LSQCA_SIM_SIMULATOR_H

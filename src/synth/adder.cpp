@@ -1,0 +1,21 @@
+#include "synth/benchmarks.h"
+
+#include "common/error.h"
+#include "synth/arith.h"
+
+namespace lsqca {
+
+Circuit
+makeAdder(std::int32_t width)
+{
+    LSQCA_REQUIRE(width >= 1, "adder width must be positive");
+    Circuit circ;
+    const QubitId a0 = circ.addRegister("a", width);
+    const QubitId b0 = circ.addRegister("b", width + 1);
+    const QubitId c0 = circ.addRegister("carry", width);
+    rippleAdd(circ, spanOf(a0, width), spanOf(b0, width + 1),
+              spanOf(c0, width));
+    return circ;
+}
+
+} // namespace lsqca

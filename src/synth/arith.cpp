@@ -1,0 +1,138 @@
+#include "synth/arith.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace lsqca {
+namespace {
+
+/**
+ * CX targeting b, optionally controlled: plain cx when ctrl is absent,
+ * ccx(ctrl, x, b) otherwise (the "promote only sum writes" rule).
+ */
+void
+sumWrite(Circuit &circ, QubitId ctrl, QubitId x, QubitId b)
+{
+    if (ctrl == kNoQubit)
+        circ.cx(x, b);
+    else
+        circ.ccx(ctrl, x, b);
+}
+
+/**
+ * Shared ripple structure. Forward pass per bit i:
+ *   a_i ^= c_i;  b_i ^= c_i (sum write);  c_{i+1} = AND(a_i, b_i);
+ *   c_{i+1} ^= c_i
+ * which leaves c_{i+1} = MAJ(a, b, c). The backward pass uncomputes the
+ * AND for free and rewires b_i to the sum a ^ b ^ c.
+ *
+ * @p carry_out receives the final carry. When @p ctrl is valid, b-writes
+ * are Toffolis and the carry-out goes through AND(ctrl, c_w) so a zero
+ * control leaves b untouched while the garbage carries uncompute.
+ */
+void
+rippleCore(Circuit &circ, QubitId ctrl, const QubitSpan &a,
+           const QubitSpan &b, const QubitSpan &carry, QubitId carry_out)
+{
+    const auto w = a.size();
+    // Forward carry chain: targets carry[1..w-1] then the carry sink.
+    for (std::size_t i = 0; i < w; ++i) {
+        const QubitId sink =
+            (i + 1 < w) ? carry[i + 1]
+                        : (ctrl == kNoQubit ? carry_out : carry[w]);
+        circ.cx(carry[i], a[i]);
+        sumWrite(circ, ctrl, carry[i], b[i]);
+        circ.andInit(a[i], b[i], sink);
+        circ.cx(carry[i], sink);
+    }
+    if (ctrl != kNoQubit) {
+        // Controlled carry-out: one more temporary AND into the (|0>)
+        // target bit; c_w is then uncomputed on the way down.
+        circ.andInit(ctrl, carry[w], carry_out);
+    }
+    // Backward: clear carries, produce sums.
+    for (std::size_t i = w; i-- > 0;) {
+        const bool top_uncontrolled = ctrl == kNoQubit && i + 1 == w;
+        if (!top_uncontrolled) {
+            const QubitId sink = (i + 1 < w) ? carry[i + 1] : carry[w];
+            circ.cx(carry[i], sink);
+            circ.andUncompute(a[i], b[i], sink);
+        }
+        sumWrite(circ, ctrl, a[i], b[i]);
+        sumWrite(circ, ctrl, carry[i], b[i]);
+        circ.cx(carry[i], a[i]);
+    }
+}
+
+void
+validateSpans(const QubitSpan &a, const QubitSpan &b,
+              const QubitSpan &carry, std::size_t carry_needed)
+{
+    LSQCA_REQUIRE(a.size() >= 1, "adder needs at least one addend bit");
+    LSQCA_REQUIRE(b.size() == a.size() + 1,
+                  "adder target must have w+1 bits");
+    LSQCA_REQUIRE(carry.size() >= carry_needed,
+                  "adder carry scratch too small");
+}
+
+} // namespace
+
+QubitSpan
+spanOf(QubitId first, std::int32_t size)
+{
+    QubitSpan span;
+    span.reserve(static_cast<std::size_t>(size));
+    for (std::int32_t i = 0; i < size; ++i)
+        span.push_back(first + i);
+    return span;
+}
+
+void
+rippleAdd(Circuit &circ, const QubitSpan &a, const QubitSpan &b,
+          const QubitSpan &carry)
+{
+    validateSpans(a, b, carry, a.size());
+    rippleCore(circ, kNoQubit, a, b, carry, b[a.size()]);
+}
+
+void
+rippleAddControlled(Circuit &circ, QubitId ctrl, const QubitSpan &a,
+                    const QubitSpan &b, const QubitSpan &carry)
+{
+    validateSpans(a, b, carry, a.size() + 1);
+    LSQCA_REQUIRE(std::find(a.begin(), a.end(), ctrl) == a.end() &&
+                      std::find(b.begin(), b.end(), ctrl) == b.end() &&
+                      std::find(carry.begin(), carry.end(), ctrl) ==
+                          carry.end(),
+                  "control qubit must not overlap adder operands");
+    rippleCore(circ, ctrl, a, b, carry, b[a.size()]);
+}
+
+void
+phaseOnAllOnes(Circuit &circ, const QubitSpan &literals,
+               const QubitSpan &scratch)
+{
+    const auto k = literals.size();
+    LSQCA_REQUIRE(k >= 1, "phaseOnAllOnes needs at least one literal");
+    if (k == 1) {
+        circ.z(literals[0]);
+        return;
+    }
+    if (k == 2) {
+        circ.cz(literals[0], literals[1]);
+        return;
+    }
+    LSQCA_REQUIRE(scratch.size() >= k - 2,
+                  "phaseOnAllOnes needs k-2 scratch cells");
+    // AND-ladder over the first k-1 literals, phase against the last.
+    circ.andInit(literals[0], literals[1], scratch[0]);
+    for (std::size_t j = 2; j + 1 < k; ++j)
+        circ.andInit(scratch[j - 2], literals[j], scratch[j - 1]);
+    circ.cz(scratch[k - 3], literals[k - 1]);
+    for (std::size_t j = k - 1; j-- > 2;)
+        circ.andUncompute(scratch[j - 2], literals[j], scratch[j - 1]);
+    circ.andUncompute(literals[0], literals[1], scratch[0]);
+}
+
+} // namespace lsqca

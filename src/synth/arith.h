@@ -1,0 +1,69 @@
+#ifndef LSQCA_SYNTH_ARITH_H
+#define LSQCA_SYNTH_ARITH_H
+
+/**
+ * @file
+ * Reversible-arithmetic building blocks.
+ *
+ * The in-place ripple-carry adder is the temporary-AND construction
+ * (Gidney-style): each carry is computed by one 4-T AndInit into a fresh
+ * |0> cell and uncomputed by a free measurement-based AndUncompute, so a
+ * w-bit add costs ~4w T states instead of ~14w for textbook Toffolis —
+ * the low-T compilation the paper assumes for its arithmetic benchmarks.
+ * The controlled variant promotes only sum-register writes to Toffolis
+ * (carry chains compute garbage under a 0 control but uncompute
+ * symmetrically) and writes the carry-out through one extra AND, so no
+ * multi-controlled gate is ever needed.
+ *
+ * Correctness is established exhaustively in tests/synth/arith_test.cpp
+ * via the state-vector oracle.
+ */
+
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace lsqca {
+
+/** A little-endian run of qubits forming an integer register. */
+using QubitSpan = std::vector<QubitId>;
+
+/** Contiguous span helper: first, first+1, ..., first+size-1. */
+QubitSpan spanOf(QubitId first, std::int32_t size);
+
+/**
+ * In-place addition: b := a + b.
+ *
+ * @param a     addend, w qubits (unchanged).
+ * @param b     target, w+1 qubits little-endian; b[w] receives carry-out
+ *              (must be |0> on entry for a correct w+1-bit sum).
+ * @param carry w scratch qubits, |0> on entry and exit.
+ */
+void rippleAdd(Circuit &circ, const QubitSpan &a, const QubitSpan &b,
+               const QubitSpan &carry);
+
+/**
+ * Controlled in-place addition: if (ctrl) b := a + b.
+ *
+ * @param ctrl  control qubit; must not appear in @p a, @p b or @p carry.
+ * @param a     addend, w qubits (unchanged).
+ * @param b     target, w+1 qubits; b[w] receives the carry-out (must be
+ *              |0> on entry).
+ * @param carry w+1 scratch qubits, |0> on entry and exit (one more than
+ *              the uncontrolled form: the full chain is computed so the
+ *              controlled carry-out is a single AND into b[w]).
+ */
+void rippleAddControlled(Circuit &circ, QubitId ctrl, const QubitSpan &a,
+                         const QubitSpan &b, const QubitSpan &carry);
+
+/**
+ * Phase-flip the amplitude where all @p literals are 1, using an AND
+ * ladder over @p scratch (literals.size()-2 cells, |0> in/out). Used by
+ * the square_root oracle and the Grover diffusion operator.
+ */
+void phaseOnAllOnes(Circuit &circ, const QubitSpan &literals,
+                    const QubitSpan &scratch);
+
+} // namespace lsqca
+
+#endif // LSQCA_SYNTH_ARITH_H

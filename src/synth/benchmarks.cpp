@@ -1,0 +1,21 @@
+#include "synth/benchmarks.h"
+
+namespace lsqca {
+
+std::vector<Benchmark>
+paperSuite(std::int64_t select_max_terms)
+{
+    std::vector<Benchmark> suite;
+    suite.push_back({"adder", makeAdder()});
+    suite.push_back({"bv", makeBernsteinVazirani()});
+    suite.push_back({"cat", makeCat()});
+    suite.push_back({"ghz", makeGhz()});
+    suite.push_back({"multiplier", makeMultiplier()});
+    suite.push_back({"square_root", makeSquareRoot()});
+    SelectParams select;
+    select.maxTerms = select_max_terms;
+    suite.push_back({"SELECT", makeSelect(select)});
+    return suite;
+}
+
+} // namespace lsqca

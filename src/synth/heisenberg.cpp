@@ -1,0 +1,55 @@
+#include "synth/benchmarks.h"
+
+#include "common/error.h"
+
+namespace lsqca {
+
+std::vector<PauliTerm>
+heisenbergTerms(std::int32_t width)
+{
+    LSQCA_REQUIRE(width >= 2, "Heisenberg lattice width must be >= 2");
+    std::vector<PauliTerm> terms;
+    terms.reserve(static_cast<std::size_t>(6) * width * (width - 1));
+    const auto site = [width](std::int32_t r, std::int32_t c) {
+        return static_cast<QubitId>(r * width + c);
+    };
+    // Row-major edge enumeration; consecutive terms act on overlapping or
+    // adjacent sites, which is the access locality Sec. III-B measures.
+    for (std::int32_t r = 0; r < width; ++r) {
+        for (std::int32_t c = 0; c < width; ++c) {
+            const auto addEdge = [&](QubitId u, QubitId v) {
+                terms.push_back({PauliTerm::Kind::XX, u, v});
+                terms.push_back({PauliTerm::Kind::YY, u, v});
+                terms.push_back({PauliTerm::Kind::ZZ, u, v});
+            };
+            if (c + 1 < width)
+                addEdge(site(r, c), site(r, c + 1));
+            if (r + 1 < width)
+                addEdge(site(r, c), site(r + 1, c));
+        }
+    }
+    LSQCA_ASSERT(terms.size() ==
+                     static_cast<std::size_t>(6) * width * (width - 1),
+                 "Heisenberg term count mismatch");
+    return terms;
+}
+
+SelectLayout
+selectLayout(std::int32_t width)
+{
+    LSQCA_REQUIRE(width >= 2, "SELECT lattice width must be >= 2");
+    SelectLayout layout;
+    layout.width = width;
+    layout.numTerms = std::int64_t{6} * width * (width - 1);
+    std::int32_t bits = 0;
+    while ((std::int64_t{1} << bits) < layout.numTerms)
+        ++bits;
+    layout.controlBits = bits + 1; // +1 spare index bit (paper sizing)
+    layout.temporalBits = layout.controlBits;
+    layout.systemBits = width * width;
+    layout.totalQubits =
+        layout.controlBits + layout.temporalBits + layout.systemBits;
+    return layout;
+}
+
+} // namespace lsqca

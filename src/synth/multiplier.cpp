@@ -1,0 +1,31 @@
+#include "synth/benchmarks.h"
+
+#include "common/error.h"
+#include "synth/arith.h"
+
+namespace lsqca {
+
+Circuit
+makeMultiplier(const MultiplierParams &params)
+{
+    const std::int32_t wa = params.widthA;
+    const std::int32_t wb = params.widthB;
+    LSQCA_REQUIRE(wa >= 1 && wb >= 1, "multiplier widths must be positive");
+    Circuit circ;
+    const QubitId a0 = circ.addRegister("a", wa);
+    const QubitId b0 = circ.addRegister("b", wb);
+    const QubitId p0 = circ.addRegister("product", wa + wb);
+    const QubitId c0 = circ.addRegister("carry", wa + 1);
+
+    const QubitSpan a = spanOf(a0, wa);
+    const QubitSpan carry = spanOf(c0, wa + 1);
+    // Schoolbook shift-add: product += (a << i) when b_i is set. The
+    // lowest-bit-first iteration produces the sequential reference
+    // pattern Sec. III-B observes for integer arithmetic.
+    for (std::int32_t i = 0; i < wb; ++i)
+        rippleAddControlled(circ, b0 + i, a, spanOf(p0 + i, wa + 1),
+                            carry);
+    return circ;
+}
+
+} // namespace lsqca

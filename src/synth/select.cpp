@@ -1,0 +1,229 @@
+#include "synth/benchmarks.h"
+
+#include "common/error.h"
+
+namespace lsqca {
+namespace {
+
+/**
+ * Sawtooth unary-iteration walker.
+ *
+ * Maintains an AND ladder over the control literals (MSB at chain
+ * position 0). Between consecutive indices only the trailing links —
+ * those downstream of the lowest carried bit — are torn down and
+ * rebuilt, which is what keeps the amortized Toffoli count ~2 per term
+ * (the Fig. 5c duplication-removal effect).
+ */
+class UnaryWalker
+{
+  public:
+    UnaryWalker(Circuit &circ, QubitId control0, QubitId temporal0,
+                std::int32_t bits)
+        : circ_(circ), control0_(control0), temporal0_(temporal0),
+          bits_(bits)
+    {
+        LSQCA_REQUIRE(bits >= 2, "unary iteration needs >= 2 index bits");
+    }
+
+    /** Literal qubit at chain position j (0 = MSB). */
+    QubitId lit(std::int32_t j) const { return control0_ + j; }
+
+    /** Ladder link target for chain position j (1..bits-1). */
+    QubitId link(std::int32_t j) const { return temporal0_ + j; }
+
+    /** Leaf qubit: one exactly when control == current index. */
+    QubitId leaf() const { return link(bits_ - 1); }
+
+    /** Build the full ladder for index 0 (X-conjugate all zero bits). */
+    void
+    buildForZero()
+    {
+        LSQCA_ASSERT(!built_, "walker already built");
+        index_ = 0;
+        for (std::int32_t j = 0; j < bits_; ++j)
+            circ_.x(lit(j)); // all bits of index 0 are zero
+        circ_.andInit(lit(0), lit(1), link(1));
+        for (std::int32_t j = 2; j < bits_; ++j)
+            circ_.andInit(link(j - 1), lit(j), link(j));
+        built_ = true;
+    }
+
+    /** Advance from index i to i+1, rebuilding only trailing links. */
+    void
+    advance()
+    {
+        LSQCA_ASSERT(built_, "walker not built");
+        const std::int64_t next = index_ + 1;
+        LSQCA_REQUIRE(next < (std::int64_t{1} << bits_),
+                      "unary iteration overflow");
+        // Integer-bit positions that differ between index_ and next are
+        // exactly 0..h (the carry ripple). Chain position of integer
+        // bit p is bits_-1-p, so links jmin..bits_-1 change.
+        std::int32_t h = 0;
+        while ((index_ >> h) & 1)
+            ++h;
+        const std::int32_t jmin = bits_ - 1 - h;
+        // Tear down affected links (deepest first).
+        for (std::int32_t j = bits_ - 1; j >= std::max(jmin, 1); --j)
+            circ_.andUncompute(j == 1 ? lit(0) : link(j - 1), lit(j),
+                               link(j));
+        // Flip the X conjugation on every changed literal.
+        for (std::int32_t j = jmin; j < bits_; ++j)
+            circ_.x(lit(j));
+        // Rebuild.
+        for (std::int32_t j = std::max(jmin, 1); j < bits_; ++j)
+            circ_.andInit(j == 1 ? lit(0) : link(j - 1), lit(j), link(j));
+        index_ = next;
+    }
+
+    /** Tear the ladder down and restore the control register. */
+    void
+    teardown()
+    {
+        LSQCA_ASSERT(built_, "walker not built");
+        for (std::int32_t j = bits_ - 1; j >= 1; --j)
+            circ_.andUncompute(j == 1 ? lit(0) : link(j - 1), lit(j),
+                               link(j));
+        for (std::int32_t j = 0; j < bits_; ++j)
+            if (!((index_ >> (bits_ - 1 - j)) & 1))
+                circ_.x(lit(j));
+        built_ = false;
+    }
+
+  private:
+    Circuit &circ_;
+    QubitId control0_;
+    QubitId temporal0_;
+    std::int32_t bits_;
+    std::int64_t index_ = 0;
+    bool built_ = false;
+};
+
+/** Controlled Pauli-P on @p target: P in {X, Y, Z}. */
+void
+controlledPauli(Circuit &circ, QubitId control, QubitId target, char pauli)
+{
+    switch (pauli) {
+      case 'X':
+        circ.cx(control, target);
+        break;
+      case 'Y':
+        circ.sdg(target);
+        circ.cx(control, target);
+        circ.s(target);
+        break;
+      case 'Z':
+        circ.cz(control, target);
+        break;
+      default:
+        throw InternalError("unknown Pauli label");
+    }
+}
+
+char
+pauliChar(PauliTerm::Kind kind)
+{
+    switch (kind) {
+      case PauliTerm::Kind::XX: return 'X';
+      case PauliTerm::Kind::YY: return 'Y';
+      case PauliTerm::Kind::ZZ: return 'Z';
+    }
+    return '?';
+}
+
+} // namespace
+
+namespace {
+
+/** Emit one term's controlled Paulis at @p leaf. */
+void
+applyTerm(Circuit &circ, QubitId leaf, QubitId sys0,
+          const PauliTerm &term)
+{
+    const char p = pauliChar(term.kind);
+    controlledPauli(circ, leaf, sys0 + term.site0, p);
+    controlledPauli(circ, leaf, sys0 + term.site1, p);
+}
+
+} // namespace
+
+Circuit
+makeSelect(const SelectParams &params)
+{
+    LSQCA_REQUIRE(params.controlCopies >= 1,
+                  "SELECT needs at least one control copy");
+    const SelectLayout layout = selectLayout(params.width);
+    const auto terms = heisenbergTerms(params.width);
+    std::int64_t count = static_cast<std::int64_t>(terms.size());
+    if (params.maxTerms > 0)
+        count = std::min<std::int64_t>(count, params.maxTerms);
+    const std::int32_t copies = params.controlCopies;
+
+    Circuit circ;
+    std::vector<QubitId> ctl(static_cast<std::size_t>(copies));
+    std::vector<QubitId> tmp(static_cast<std::size_t>(copies));
+    for (std::int32_t k = 0; k < copies; ++k) {
+        const std::string suffix =
+            copies == 1 ? "" : "_" + std::to_string(k);
+        ctl[static_cast<std::size_t>(k)] =
+            circ.addRegister("control" + suffix, layout.controlBits);
+        tmp[static_cast<std::size_t>(k)] =
+            circ.addRegister("temporal" + suffix, layout.temporalBits);
+    }
+    const QubitId sys0 = circ.addRegister("system", layout.systemBits);
+
+    // Fig. 5d: CX fan-out of the control value onto every copy.
+    for (std::int32_t k = 1; k < copies; ++k)
+        for (std::int32_t b = 0; b < layout.controlBits; ++b)
+            circ.cx(ctl[0] + b, ctl[static_cast<std::size_t>(k)] + b);
+
+    // temporal[0] is the spare cell of the paper's register sizing; the
+    // ladder proper lives in temporal[1..bits-1]. Copy k walks terms
+    // k, k+copies, k+2*copies, ... with its own ladder; emission
+    // interleaves round-robin so the copies' Toffolis parallelize.
+    std::vector<UnaryWalker> walkers;
+    walkers.reserve(static_cast<std::size_t>(copies));
+    for (std::int32_t k = 0; k < copies; ++k)
+        walkers.emplace_back(circ, ctl[static_cast<std::size_t>(k)],
+                             tmp[static_cast<std::size_t>(k)],
+                             layout.controlBits);
+    std::vector<std::int64_t> position(
+        static_cast<std::size_t>(copies), -1);
+    for (std::int32_t k = 0; k < copies; ++k) {
+        if (k < count) {
+            walkers[static_cast<std::size_t>(k)].buildForZero();
+            // Advance copy k from index 0 to its first term k.
+            for (std::int64_t step = 0; step < k; ++step)
+                walkers[static_cast<std::size_t>(k)].advance();
+            position[static_cast<std::size_t>(k)] = k;
+        }
+    }
+    bool any = true;
+    while (any) {
+        any = false;
+        for (std::int32_t k = 0; k < copies; ++k) {
+            auto &pos = position[static_cast<std::size_t>(k)];
+            if (pos < 0 || pos >= count)
+                continue;
+            any = true;
+            auto &walker = walkers[static_cast<std::size_t>(k)];
+            applyTerm(circ, walker.leaf(), sys0,
+                      terms[static_cast<std::size_t>(pos)]);
+            const std::int64_t next = pos + copies;
+            if (next < count) {
+                for (std::int64_t step = 0; step < copies; ++step)
+                    walker.advance();
+            }
+            pos = next;
+        }
+    }
+    for (std::int32_t k = 0; k < copies; ++k)
+        if (k < count)
+            walkers[static_cast<std::size_t>(k)].teardown();
+    for (std::int32_t k = copies - 1; k >= 1; --k)
+        for (std::int32_t b = 0; b < layout.controlBits; ++b)
+            circ.cx(ctl[0] + b, ctl[static_cast<std::size_t>(k)] + b);
+    return circ;
+}
+
+} // namespace lsqca

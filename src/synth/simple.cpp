@@ -1,0 +1,60 @@
+#include "synth/benchmarks.h"
+
+#include "common/error.h"
+
+namespace lsqca {
+
+Circuit
+makeBernsteinVazirani(std::int32_t num_qubits, std::uint64_t secret)
+{
+    LSQCA_REQUIRE(num_qubits >= 2, "bv needs a data qubit and an ancilla");
+    Circuit circ;
+    const std::int32_t data = num_qubits - 1;
+    const QubitId d0 = circ.addRegister("data", data);
+    const QubitId anc = circ.addRegister("ancilla", 1);
+
+    // Ancilla in |->, data in uniform superposition.
+    circ.x(anc);
+    circ.h(anc);
+    for (std::int32_t i = 0; i < data; ++i)
+        circ.h(d0 + i);
+    // Oracle: kickback per secret bit. Bits beyond 64 reuse the mask
+    // cyclically so large instances still have dense oracles.
+    for (std::int32_t i = 0; i < data; ++i)
+        if (secret & (std::uint64_t{1} << (i % 64)))
+            circ.cx(d0 + i, anc);
+    for (std::int32_t i = 0; i < data; ++i)
+        circ.h(d0 + i);
+    for (std::int32_t i = 0; i < data; ++i)
+        circ.measZ(d0 + i);
+    return circ;
+}
+
+Circuit
+makeCat(std::int32_t num_qubits)
+{
+    LSQCA_REQUIRE(num_qubits >= 2, "cat needs at least two qubits");
+    Circuit circ;
+    const QubitId q0 = circ.addRegister("q", num_qubits);
+    circ.h(q0);
+    // Linear entangling chain: fully serial dependency structure.
+    for (std::int32_t i = 0; i + 1 < num_qubits; ++i)
+        circ.cx(q0 + i, q0 + i + 1);
+    return circ;
+}
+
+Circuit
+makeGhz(std::int32_t num_qubits)
+{
+    LSQCA_REQUIRE(num_qubits >= 2, "ghz needs at least two qubits");
+    Circuit circ;
+    const QubitId q0 = circ.addRegister("q", num_qubits);
+    circ.h(q0);
+    // QASMBench's ghz is a linear CX chain like cat; the two benchmarks
+    // differ in size (127 vs 260 qubits), which is what Fig. 13 varies.
+    for (std::int32_t i = 0; i + 1 < num_qubits; ++i)
+        circ.cx(q0 + i, q0 + i + 1);
+    return circ;
+}
+
+} // namespace lsqca

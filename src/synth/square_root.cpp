@@ -1,0 +1,117 @@
+#include "synth/benchmarks.h"
+
+#include "common/error.h"
+#include "synth/arith.h"
+
+namespace lsqca {
+namespace {
+
+/**
+ * Append the gates [start, end) of @p circ again, in reverse order,
+ * inverting each (AndInit <-> AndUncompute; the rest of the slice must
+ * be self-inverse).
+ */
+void
+appendReversed(Circuit &circ, std::size_t start, std::size_t end)
+{
+    const std::vector<Gate> slice(circ.gates().begin() +
+                                      static_cast<std::ptrdiff_t>(start),
+                                  circ.gates().begin() +
+                                      static_cast<std::ptrdiff_t>(end));
+    for (auto it = slice.rbegin(); it != slice.rend(); ++it) {
+        Gate g = *it;
+        switch (g.kind) {
+          case GateKind::X: case GateKind::Z: case GateKind::H:
+          case GateKind::CX: case GateKind::CZ: case GateKind::CCX:
+            break;
+          case GateKind::AndInit:
+            g.kind = GateKind::AndUncompute;
+            break;
+          case GateKind::AndUncompute:
+            g.kind = GateKind::AndInit;
+            break;
+          default:
+            throw InternalError("appendReversed: gate not invertible");
+        }
+        circ.append(g);
+    }
+}
+
+} // namespace
+
+Circuit
+makeSquareRoot(const SquareRootParams &params)
+{
+    const std::int32_t k = params.width;
+    LSQCA_REQUIRE(k >= 2, "square_root needs at least two value bits");
+    LSQCA_REQUIRE(params.iterations >= 1,
+                  "square_root needs at least one Grover iteration");
+    LSQCA_REQUIRE(params.target < (std::uint64_t{1} << (2 * k)),
+                  "square_root target exceeds the square register");
+
+    Circuit circ;
+    const QubitId x0 = circ.addRegister("x", k);
+    const QubitId sq0 = circ.addRegister("square", 2 * k);
+    const QubitId c0 = circ.addRegister("carry", k + 1);
+    const QubitId l0 = circ.addRegister("ladder", 2 * k - 1);
+
+    const QubitSpan carry = spanOf(c0, k + 1);
+    const QubitSpan ladder = spanOf(l0, 2 * k - 1);
+
+    // Uniform superposition over x.
+    for (std::int32_t i = 0; i < k; ++i)
+        circ.h(x0 + i);
+
+    // square := x * x by controlled shift-adds. The diagonal term
+    // (control x_i inside the addend) is handled by lending the addend
+    // a CX-copy of x_i in a borrowed ladder cell, which reads the same
+    // computational value without aliasing the control.
+    auto emitSquare = [&]() {
+        const QubitId copy = ladder.back(); // |0> outside the oracle
+        for (std::int32_t i = 0; i < k; ++i) {
+            QubitSpan addend = spanOf(x0, k);
+            addend[static_cast<std::size_t>(i)] = copy;
+            circ.cx(x0 + i, copy);
+            rippleAddControlled(circ, x0 + i, addend,
+                                spanOf(sq0 + i, k + 1), carry);
+            circ.cx(x0 + i, copy);
+        }
+    };
+
+    for (std::int32_t iter = 0; iter < params.iterations; ++iter) {
+        // Oracle: phase-flip amplitudes with square == target.
+        const std::size_t sq_begin = circ.gates().size();
+        emitSquare();
+        const std::size_t sq_end = circ.gates().size();
+
+        QubitSpan literals;
+        for (std::int32_t j = 0; j < 2 * k; ++j) {
+            if (!(params.target & (std::uint64_t{1} << j)))
+                circ.x(sq0 + j);
+            literals.push_back(sq0 + j);
+        }
+        phaseOnAllOnes(circ, literals, ladder);
+        for (std::int32_t j = 0; j < 2 * k; ++j)
+            if (!(params.target & (std::uint64_t{1} << j)))
+                circ.x(sq0 + j);
+
+        appendReversed(circ, sq_begin, sq_end); // unsquare
+
+        // Diffusion over x: reflect about the uniform superposition.
+        for (std::int32_t i = 0; i < k; ++i)
+            circ.h(x0 + i);
+        for (std::int32_t i = 0; i < k; ++i)
+            circ.x(x0 + i);
+        phaseOnAllOnes(circ, spanOf(x0, k), ladder);
+        for (std::int32_t i = 0; i < k; ++i)
+            circ.x(x0 + i);
+        for (std::int32_t i = 0; i < k; ++i)
+            circ.h(x0 + i);
+    }
+
+    for (std::int32_t i = 0; i < k; ++i)
+        circ.measZ(x0 + i);
+    return circ;
+}
+
+} // namespace lsqca

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "arch/line_sam.h"
+#include "arch/point_sam.h"
+#include "common/rng.h"
+
+namespace lsqca {
+namespace {
+
+std::vector<QubitId>
+iota(std::int32_t n)
+{
+    std::vector<QubitId> vars(static_cast<std::size_t>(n));
+    std::iota(vars.begin(), vars.end(), 0);
+    return vars;
+}
+
+/**
+ * Random op soup on a point-SAM bank: load/store/fetch/seek in legal
+ * orders. Invariants: costs non-negative, occupancy conserved, every
+ * qubit placed exactly once, positions in range.
+ */
+class PointSamFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PointSamFuzz, InvariantsHoldUnderRandomOps)
+{
+    const std::int32_t n = 48;
+    Rng rng(GetParam());
+    PointSamBank bank(n, Latencies{});
+    bank.placeInitial(iota(n));
+    std::set<QubitId> in_cr; // qubits currently loaded out
+
+    for (int step = 0; step < 2000; ++step) {
+        const auto q = static_cast<QubitId>(rng.below(n));
+        const bool resident = bank.holds(q);
+        switch (rng.below(4)) {
+          case 0:
+            if (resident && in_cr.size() < 2) {
+                ASSERT_GE(bank.loadCost(q), 1);
+                bank.commitLoad(q);
+                in_cr.insert(q);
+            }
+            break;
+          case 1:
+            if (!resident && in_cr.count(q)) {
+                const bool locality = rng.chance(0.7);
+                ASSERT_GE(bank.storeCost(q, locality), 1);
+                bank.commitStore(q, locality);
+                in_cr.erase(q);
+            }
+            break;
+          case 2:
+            if (resident) {
+                ASSERT_GE(bank.seekCost(q), 0);
+                bank.commitSeek(q);
+            }
+            break;
+          default:
+            if (resident) {
+                ASSERT_GE(bank.fetchToPortCost(q), 0);
+                bank.commitFetchToPort(q);
+                ASSERT_TRUE(bank.holds(q));
+            }
+            break;
+        }
+        ASSERT_EQ(bank.occupancy(),
+                  n - static_cast<std::int32_t>(in_cr.size()));
+        // Scan position stays within the grid bounds.
+        ASSERT_GE(bank.scanPosition().row, 0);
+        ASSERT_LT(bank.scanPosition().row, bank.rows());
+        ASSERT_GE(bank.scanPosition().col, 0);
+        ASSERT_LT(bank.scanPosition().col, bank.cols());
+    }
+    // Every out-qubit can be stored back.
+    for (QubitId q : in_cr)
+        bank.commitStore(q, true);
+    ASSERT_EQ(bank.occupancy(), n);
+    for (QubitId q = 0; q < n; ++q)
+        ASSERT_TRUE(bank.holds(q));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PointSamFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+class LineSamFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(LineSamFuzz, InvariantsHoldUnderRandomOps)
+{
+    const std::int32_t n = 50;
+    Rng rng(GetParam());
+    LineSamBank bank(n, Latencies{});
+    bank.placeInitial(iota(n));
+    std::set<QubitId> in_cr;
+
+    for (int step = 0; step < 2000; ++step) {
+        const auto q = static_cast<QubitId>(rng.below(n));
+        const bool resident = bank.holds(q);
+        switch (rng.below(4)) {
+          case 0:
+            if (resident && in_cr.size() < 2) {
+                ASSERT_GE(bank.loadCost(q), 3); // step-in + long move
+                bank.commitLoad(q);
+                in_cr.insert(q);
+            }
+            break;
+          case 1:
+            if (!resident && in_cr.count(q)) {
+                const bool locality = rng.chance(0.7);
+                ASSERT_GE(bank.storeCost(q, locality), 3);
+                bank.commitStore(q, locality);
+                in_cr.erase(q);
+            }
+            break;
+          case 2:
+            if (resident) {
+                ASSERT_GE(bank.alignCost(q), 0);
+                bank.commitAlign(q);
+                ASSERT_EQ(bank.alignCost(q), 0);
+            }
+            break;
+          default:
+            if (resident) {
+                const auto other = static_cast<QubitId>(rng.below(n));
+                if (other != q && bank.holds(other) &&
+                    bank.canDirectSurgery(q, other)) {
+                    ASSERT_GE(bank.directSurgeryCost(q, other), 0);
+                    bank.commitDirectSurgery(q, other);
+                }
+            }
+            break;
+        }
+        ASSERT_EQ(bank.occupancy(),
+                  n - static_cast<std::int32_t>(in_cr.size()));
+        ASSERT_GE(bank.gap(), 0);
+        ASSERT_LE(bank.gap(), bank.dataRows());
+    }
+    for (QubitId q : in_cr)
+        bank.commitStore(q, true);
+    ASSERT_EQ(bank.occupancy(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LineSamFuzz,
+                         ::testing::Values(66, 77, 88, 99, 111));
+
+TEST(BankFuzz, PointBankSurvivesFullChurn)
+{
+    // Load and locality-store every qubit once; afterwards the hot set
+    // sits near the port and total occupancy is intact.
+    const std::int32_t n = 35;
+    PointSamBank bank(n, Latencies{});
+    bank.placeInitial(iota(n));
+    std::int64_t first_total = 0;
+    for (QubitId q = 0; q < n; ++q)
+        first_total += bank.loadCost(q);
+    for (QubitId q = 0; q < n; ++q) {
+        bank.commitLoad(q);
+        bank.commitStore(q, true);
+    }
+    std::int64_t second_total = 0;
+    for (QubitId q = 0; q < n; ++q)
+        second_total += bank.loadCost(q);
+    EXPECT_EQ(bank.occupancy(), n);
+    // The churned layout is no worse on aggregate: everything was
+    // stored through the port stack.
+    EXPECT_LE(second_total, first_total * 2);
+}
+
+TEST(BankFuzz, LineBankSequentialChurnKeepsRowsCompact)
+{
+    const std::int32_t n = 49; // 7x7
+    LineSamBank bank(n, Latencies{});
+    bank.placeInitial(iota(n));
+    for (QubitId q = 0; q < n; ++q) {
+        bank.commitLoad(q);
+        bank.commitStore(q, true);
+        ASSERT_EQ(bank.occupancy(), n);
+    }
+    // All qubits remain accounted for and alignable.
+    for (QubitId q = 0; q < n; ++q) {
+        ASSERT_TRUE(bank.holds(q));
+        ASSERT_GE(bank.alignCost(q), 0);
+    }
+}
+
+} // namespace
+} // namespace lsqca

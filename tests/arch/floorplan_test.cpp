@@ -1,0 +1,160 @@
+#include "arch/floorplan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace lsqca {
+namespace {
+
+TEST(Floorplan, BankCapacityDealsRoundRobin)
+{
+    EXPECT_EQ(bankCapacity(10, 1, 0), 10);
+    EXPECT_EQ(bankCapacity(10, 4, 0), 3);
+    EXPECT_EQ(bankCapacity(10, 4, 1), 3);
+    EXPECT_EQ(bankCapacity(10, 4, 2), 2);
+    EXPECT_EQ(bankCapacity(10, 4, 3), 2);
+    EXPECT_THROW(bankCapacity(10, 2, 2), ConfigError);
+}
+
+TEST(Floorplan, MultiplierLineSamMatchesPaper)
+{
+    // Paper Sec. VI-B: line SAM achieves ~400/462 = 87% for the
+    // 400-qubit multiplier.
+    ArchConfig cfg;
+    cfg.sam = SamKind::Line;
+    const FloorplanStats stats = floorplanStats(cfg, 400, 0);
+    EXPECT_EQ(stats.samCells, 420);   // 20x20 data + 20-cell scan row
+    EXPECT_EQ(stats.crCells, 42);     // 2 columns x 21
+    EXPECT_EQ(stats.totalCells, 462);
+    EXPECT_NEAR(stats.density(), 400.0 / 462.0, 1e-12);
+    EXPECT_NEAR(stats.density(), 0.87, 0.01);
+}
+
+TEST(Floorplan, MultiplierPointSamNearFullDensity)
+{
+    ArchConfig cfg;
+    cfg.sam = SamKind::Point;
+    const FloorplanStats stats = floorplanStats(cfg, 400, 0);
+    EXPECT_EQ(stats.samCells, 401);
+    EXPECT_EQ(stats.crCells, 6);
+    EXPECT_NEAR(stats.density(), 400.0 / 407.0, 1e-12);
+    EXPECT_GT(stats.density(), 0.98);
+}
+
+TEST(Floorplan, ConventionalIsHalfDensity)
+{
+    ArchConfig cfg;
+    cfg.sam = SamKind::Conventional;
+    const FloorplanStats stats = floorplanStats(cfg, 123, 123);
+    EXPECT_EQ(stats.totalCells, 246);
+    EXPECT_DOUBLE_EQ(stats.density(), 0.5);
+}
+
+TEST(Floorplan, FullHybridEqualsConventional)
+{
+    ArchConfig cfg;
+    cfg.sam = SamKind::Line;
+    cfg.hybridFraction = 1.0;
+    const FloorplanStats stats = floorplanStats(cfg, 200, 200);
+    EXPECT_EQ(stats.samCells, 0);
+    EXPECT_EQ(stats.crCells, 0);
+    EXPECT_EQ(stats.totalCells, 400);
+    EXPECT_DOUBLE_EQ(stats.density(), 0.5);
+}
+
+TEST(Floorplan, HybridDensityInterpolates)
+{
+    ArchConfig cfg;
+    cfg.sam = SamKind::Point;
+    const double d0 = floorplanStats(cfg, 400, 0).density();
+    const double d_half = floorplanStats(cfg, 400, 200).density();
+    const double d1 = floorplanStats(cfg, 400, 400).density();
+    EXPECT_GT(d0, d_half);
+    EXPECT_GT(d_half, d1);
+    EXPECT_DOUBLE_EQ(d1, 0.5);
+}
+
+TEST(Floorplan, MoreBanksNeverRaiseLineDensity)
+{
+    ArchConfig one;
+    one.sam = SamKind::Line;
+    one.banks = 1;
+    ArchConfig four = one;
+    four.banks = 4;
+    const double d1 = floorplanStats(one, 400, 0).density();
+    const double d4 = floorplanStats(four, 400, 0).density();
+    EXPECT_LE(d4, d1 + 1e-12);
+}
+
+TEST(Floorplan, SecondPointBankCostsLittle)
+{
+    ArchConfig one;
+    one.sam = SamKind::Point;
+    ArchConfig two = one;
+    two.banks = 2;
+    const auto s1 = floorplanStats(one, 400, 0);
+    const auto s2 = floorplanStats(two, 400, 0);
+    EXPECT_EQ(s2.samCells, 402); // one extra scan cell
+    EXPECT_LT(s2.density(), s1.density());
+    EXPECT_GT(s2.density(), 0.97);
+}
+
+TEST(Floorplan, PointBankShapeIsSquarest)
+{
+    ArchConfig cfg;
+    cfg.sam = SamKind::Point;
+    const BankShape s = bankShape(cfg, 399, 0); // 400 cells
+    EXPECT_EQ(s.rows, 20);
+    EXPECT_EQ(s.cols, 20);
+    EXPECT_GE(static_cast<std::int64_t>(s.rows) * s.cols,
+              s.capacity + 1);
+}
+
+TEST(Floorplan, LineBankShapeAddsScanRow)
+{
+    ArchConfig cfg;
+    cfg.sam = SamKind::Line;
+    const BankShape s = bankShape(cfg, 400, 0);
+    EXPECT_EQ(s.rows, 21); // 20 data rows + scan row
+    EXPECT_EQ(s.cols, 20);
+    // L x (L+1) form when L*L is too small.
+    const BankShape t = bankShape(cfg, 20, 0);
+    EXPECT_EQ(t.rows, 5); // 4x5 data + scan
+    EXPECT_EQ(t.cols, 5);
+}
+
+TEST(Floorplan, DensityApproachesOneAsymptotically)
+{
+    ArchConfig cfg;
+    cfg.sam = SamKind::Point;
+    const double small = floorplanStats(cfg, 100, 0).density();
+    const double large = floorplanStats(cfg, 10000, 0).density();
+    EXPECT_GT(large, small);
+    EXPECT_GT(large, 0.999);
+}
+
+TEST(Floorplan, CatalogueMatchesFig7)
+{
+    const auto entries = floorplanCatalogue();
+    ASSERT_GE(entries.size(), 4u);
+    EXPECT_DOUBLE_EQ(entries[0].density, 0.25);
+    EXPECT_DOUBLE_EQ(entries[1].density, 4.0 / 9.0);
+    EXPECT_DOUBLE_EQ(entries[2].density, 0.5);
+    EXPECT_DOUBLE_EQ(entries[3].density, 2.0 / 3.0);
+    // Unit-time access for the first three floorplans.
+    EXPECT_EQ(entries[0].accessBeats, 1);
+    EXPECT_EQ(entries[1].accessBeats, 1);
+    EXPECT_EQ(entries[2].accessBeats, 1);
+    EXPECT_GT(entries[3].accessBeats, 1);
+}
+
+TEST(Floorplan, ConventionalQubitValidation)
+{
+    ArchConfig cfg;
+    EXPECT_THROW(floorplanStats(cfg, 10, 11), ConfigError);
+    EXPECT_THROW(floorplanStats(cfg, 10, -1), ConfigError);
+}
+
+} // namespace
+} // namespace lsqca

@@ -1,0 +1,162 @@
+#include "arch/line_sam.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace lsqca {
+namespace {
+
+std::vector<QubitId>
+iota(std::int32_t n)
+{
+    std::vector<QubitId> vars(static_cast<std::size_t>(n));
+    std::iota(vars.begin(), vars.end(), 0);
+    return vars;
+}
+
+TEST(LineSam, DataGridShapes)
+{
+    LineSamBank square(400, Latencies{});
+    EXPECT_EQ(square.dataRows(), 20);
+    EXPECT_EQ(square.cols(), 20);
+    LineSamBank rect(20, Latencies{});
+    EXPECT_EQ(rect.dataRows(), 4);
+    EXPECT_EQ(rect.cols(), 5);
+}
+
+TEST(LineSam, GapStartsAtTop)
+{
+    LineSamBank bank(16, Latencies{});
+    EXPECT_EQ(bank.gap(), 0);
+}
+
+TEST(LineSam, AlignCostIsRowDistance)
+{
+    LineSamBank bank(25, Latencies{}); // 5x5
+    bank.placeInitial(iota(25));
+    // Gap at 0: adjacent to row 0 already.
+    EXPECT_EQ(bank.alignCostToRow(0), 0);
+    // Row 3: gap must travel to 3 or 4 -> 3 shifts.
+    EXPECT_EQ(bank.alignCostToRow(3), 3);
+    EXPECT_EQ(bank.alignCostToRow(4), 4);
+}
+
+TEST(LineSam, LoadCostIsAlignPlusConstant)
+{
+    Latencies lat;
+    LineSamBank bank(25, lat);
+    bank.placeInitial(iota(25));
+    // Qubit 12 sits in row 2 (row-major fill, 5 per row).
+    const std::int64_t align = bank.alignCostToRow(2);
+    EXPECT_EQ(bank.loadCost(12), align + lat.move + lat.longMove);
+}
+
+TEST(LineSam, WorstCaseLoadIsHalfSqrtN)
+{
+    // Paper Sec. IV-C3: latency ~ 0.5 sqrt(n) in the worst case (plus
+    // small constants).
+    const std::int32_t n = 400;
+    LineSamBank bank(n, Latencies{});
+    bank.placeInitial(iota(n));
+    std::int64_t worst = 0;
+    for (QubitId q = 0; q < n; ++q)
+        worst = std::max(worst, bank.loadCost(q));
+    EXPECT_LE(worst, 20 + 3); // H-1 shifts + step + long move
+    EXPECT_GE(worst, 15);
+}
+
+TEST(LineSam, LoadParksGapAtTargetRow)
+{
+    LineSamBank bank(25, Latencies{});
+    bank.placeInitial(iota(25));
+    bank.commitLoad(17); // row 3
+    EXPECT_FALSE(bank.holds(17));
+    // Gap now adjacent to row 3: same-row reloads are cheap.
+    EXPECT_EQ(bank.alignCostToRow(3), 0);
+    EXPECT_LE(bank.loadCost(16), 3);
+}
+
+TEST(LineSam, SequentialSameRowAccessIsCheap)
+{
+    // The line-SAM selling point: continuous access to cells in one
+    // line needs no additional movement.
+    LineSamBank bank(100, Latencies{}); // 10x10
+    bank.placeInitial(iota(100));
+    bank.commitAlign(55); // row 5
+    for (QubitId q = 50; q < 60; ++q)
+        EXPECT_EQ(bank.alignCost(q), 0);
+    // A different row still costs shifts.
+    EXPECT_GT(bank.alignCost(95), 0);
+}
+
+TEST(LineSam, LocalityStorePrefersGapAdjacentRow)
+{
+    LineSamBank bank(24, Latencies{}); // 24 in 5x5 -> one empty slot
+    bank.placeInitial(iota(24));
+    bank.commitLoad(7); // row 1; gap parks at row boundary 1/2
+    // Store back with locality: gap-adjacent row has the freed slot.
+    const std::int64_t cost = bank.storeCost(7, true);
+    Latencies lat;
+    EXPECT_EQ(cost, lat.longMove + lat.move); // zero shifts
+    const Coord dest = bank.commitStore(7, true);
+    EXPECT_EQ(dest.row, 1);
+}
+
+TEST(LineSam, HomeStoreReturnsToOriginalCell)
+{
+    LineSamBank bank(24, Latencies{});
+    bank.placeInitial(iota(24));
+    const Coord home = bank.positionOf(20);
+    bank.commitLoad(20);
+    const Coord dest = bank.commitStore(20, /*locality=*/false);
+    EXPECT_EQ(dest, home);
+}
+
+TEST(LineSam, StoreAfterDistantLoadPairsQubitsInOneRow)
+{
+    // Spatial locality (Fig. 12b): two qubits touched together end up
+    // in the same or adjacent lines.
+    LineSamBank bank(99, Latencies{}); // 10x10 grid, 1 free slot
+    bank.placeInitial(iota(99));
+    bank.commitLoad(95); // bottom row; gap parks there
+    bank.commitStore(95, true);
+    bank.commitLoad(91);
+    const Coord d2 = bank.commitStore(91, true);
+    const Coord d1 = bank.positionOf(95);
+    EXPECT_LE(std::abs(d1.row - d2.row), 1);
+}
+
+TEST(LineSam, OccupancyBookkeeping)
+{
+    LineSamBank bank(10, Latencies{});
+    bank.placeInitial(iota(10));
+    EXPECT_EQ(bank.occupancy(), 10);
+    bank.commitLoad(0);
+    EXPECT_EQ(bank.occupancy(), 9);
+    bank.commitStore(0, true);
+    EXPECT_EQ(bank.occupancy(), 10);
+}
+
+TEST(LineSam, CapacityValidation)
+{
+    EXPECT_THROW(LineSamBank(0, Latencies{}), ConfigError);
+    LineSamBank bank(4, Latencies{});
+    EXPECT_THROW(bank.placeInitial(iota(5)), ConfigError);
+}
+
+TEST(LineSam, AlignCommitMovesGap)
+{
+    LineSamBank bank(25, Latencies{});
+    bank.placeInitial(iota(25));
+    EXPECT_GT(bank.alignCost(22), 0); // row 4
+    bank.commitAlign(22);
+    EXPECT_EQ(bank.alignCost(22), 0);
+    // Row 0 now distant: gap parked at 4 -> min(|4-0|, |4-1|) shifts.
+    EXPECT_EQ(bank.alignCost(2), 3);
+}
+
+} // namespace
+} // namespace lsqca

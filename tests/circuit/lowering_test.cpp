@@ -1,0 +1,194 @@
+#include "circuit/lowering.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/statevector.h"
+#include "common/error.h"
+
+namespace lsqca {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/**
+ * Fidelity between running @p reference and @p lowered from the same
+ * computational-basis input (macro gates execute natively in the
+ * reference; measurement-based gadget randomness must not matter).
+ */
+double
+loweredFidelity(const Circuit &reference, const Circuit &lowered,
+                const std::vector<QubitId> &ones, std::uint64_t seed)
+{
+    auto ref = runStateVector(reference, ones, seed);
+    auto low = runStateVector(lowered, ones, seed + 17);
+    return low.state.fidelity(ref.state);
+}
+
+class CcxLowering : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CcxLowering, Textbook7TMatchesCcxOnBasisStates)
+{
+    const std::uint64_t in = GetParam();
+    Circuit macro(3);
+    macro.ccx(0, 1, 2);
+    const Circuit lowered = lowerToCliffordT(macro,
+                                             ToffoliStyle::Textbook7T);
+    EXPECT_EQ(lowered.numQubits(), 3);
+    std::vector<QubitId> ones;
+    for (int q = 0; q < 3; ++q)
+        if (in & (1u << q))
+            ones.push_back(q);
+    EXPECT_NEAR(loweredFidelity(macro, lowered, ones, 11), 1.0, kEps)
+        << "basis input " << in;
+}
+
+TEST_P(CcxLowering, TemporaryAnd4TMatchesCcxOnBasisStates)
+{
+    const std::uint64_t in = GetParam();
+    Circuit macro(3);
+    macro.ccx(0, 1, 2);
+    const Circuit lowered =
+        lowerToCliffordT(macro, ToffoliStyle::TemporaryAnd4T);
+    EXPECT_EQ(lowered.numQubits(), 4); // + ccx_anc
+    std::vector<QubitId> ones;
+    for (int q = 0; q < 3; ++q)
+        if (in & (1u << q))
+            ones.push_back(q);
+    // Compare only the 3 data qubits: the ancilla returns to |0>, so
+    // full-state fidelity against the macro (padded) still works.
+    Circuit macro_padded(4);
+    macro_padded.ccx(0, 1, 2);
+    EXPECT_NEAR(loweredFidelity(macro_padded, lowered, ones, 23), 1.0,
+                kEps)
+        << "basis input " << in;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBasisInputs, CcxLowering,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(Lowering, CcxOnSuperposition)
+{
+    Circuit macro(3);
+    macro.h(0);
+    macro.h(1);
+    macro.ccx(0, 1, 2);
+    const Circuit lowered = lowerToCliffordT(macro,
+                                             ToffoliStyle::Textbook7T);
+    EXPECT_NEAR(loweredFidelity(macro, lowered, {}, 31), 1.0, kEps);
+}
+
+TEST(Lowering, And4TGadgetExactOnSuperposition)
+{
+    // The 4-T AND must leave *zero* residual phase, which only shows up
+    // on superposed controls.
+    Circuit macro(3);
+    macro.h(0);
+    macro.h(1);
+    macro.andInit(0, 1, 2);
+    const Circuit lowered = lowerToCliffordT(macro);
+    EXPECT_NEAR(loweredFidelity(macro, lowered, {}, 37), 1.0, kEps);
+}
+
+TEST(Lowering, AndComputeUncomputeRoundTrip)
+{
+    Circuit macro(3);
+    macro.h(0);
+    macro.h(1);
+    macro.andInit(0, 1, 2);
+    macro.s(0); // some work in between
+    macro.andUncompute(0, 1, 2);
+    macro.h(0);
+    macro.h(1);
+    const Circuit lowered = lowerToCliffordT(macro);
+    // The uncompute involves a random X-basis measurement; the final
+    // state must still match the reference exactly.
+    for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL})
+        EXPECT_NEAR(loweredFidelity(macro, lowered, {}, seed), 1.0, kEps);
+}
+
+TEST(Lowering, AndGadgetTCountIsFour)
+{
+    Circuit macro(3);
+    macro.andInit(0, 1, 2);
+    const Circuit lowered = lowerToCliffordT(macro);
+    EXPECT_EQ(lowered.tCount(), 4);
+}
+
+TEST(Lowering, Textbook7TCountIsSeven)
+{
+    Circuit macro(3);
+    macro.ccx(0, 1, 2);
+    const Circuit lowered = lowerToCliffordT(macro,
+                                             ToffoliStyle::Textbook7T);
+    EXPECT_EQ(lowered.tCount(), 7);
+}
+
+TEST(Lowering, AndUncomputeHasZeroTCount)
+{
+    Circuit macro(3);
+    macro.andUncompute(0, 1, 2);
+    const Circuit lowered = lowerToCliffordT(macro);
+    EXPECT_EQ(lowered.tCount(), 0);
+}
+
+TEST(Lowering, SwapBecomesThreeCx)
+{
+    Circuit macro(2);
+    macro.swap(0, 1);
+    const Circuit lowered = lowerToCliffordT(macro);
+    EXPECT_EQ(lowered.size(), 3);
+    for (const auto &g : lowered.gates())
+        EXPECT_EQ(g.kind, GateKind::CX);
+    EXPECT_NEAR(loweredFidelity(macro, lowered, {0}, 41), 1.0, kEps);
+}
+
+TEST(Lowering, OutputContainsOnlyCliffordT)
+{
+    Circuit macro(4);
+    macro.h(0);
+    macro.ccx(0, 1, 2);
+    macro.andInit(1, 2, 3);
+    macro.andUncompute(1, 2, 3);
+    macro.swap(0, 3);
+    for (ToffoliStyle style :
+         {ToffoliStyle::Textbook7T, ToffoliStyle::TemporaryAnd4T}) {
+        const Circuit lowered = lowerToCliffordT(macro, style);
+        for (const auto &g : lowered.gates())
+            EXPECT_TRUE(isCliffordTGate(g.kind)) << gateName(g.kind);
+    }
+}
+
+TEST(Lowering, PreservesRegistersAndBits)
+{
+    Circuit macro;
+    macro.addRegister("alpha", 2);
+    macro.addRegister("beta", 2);
+    macro.measZ(0);
+    macro.ccx(0, 1, 2);
+    const Circuit lowered = lowerToCliffordT(macro,
+                                             ToffoliStyle::Textbook7T);
+    ASSERT_EQ(lowered.registers().size(), 2u);
+    EXPECT_EQ(lowered.registers()[0].name, "alpha");
+    EXPECT_EQ(lowered.registers()[1].name, "beta");
+    EXPECT_GE(lowered.numClassicalBits(), macro.numClassicalBits());
+}
+
+TEST(Lowering, SharedAncillaReusedAcrossCcx)
+{
+    Circuit macro(4);
+    macro.ccx(0, 1, 2);
+    macro.ccx(1, 2, 3);
+    const Circuit lowered =
+        lowerToCliffordT(macro, ToffoliStyle::TemporaryAnd4T);
+    EXPECT_EQ(lowered.numQubits(), 5); // exactly one extra ancilla
+    // Semantics on a random-ish basis input.
+    Circuit padded(5);
+    padded.ccx(0, 1, 2);
+    padded.ccx(1, 2, 3);
+    EXPECT_NEAR(loweredFidelity(padded, lowered, {0, 1}, 53), 1.0, kEps);
+}
+
+} // namespace
+} // namespace lsqca

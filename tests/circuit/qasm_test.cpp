@@ -1,0 +1,129 @@
+#include "circuit/qasm.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/lowering.h"
+#include "synth/benchmarks.h"
+
+namespace lsqca {
+namespace {
+
+TEST(Qasm, HeaderAndRegisters)
+{
+    Circuit c;
+    c.addRegister("data", 3);
+    c.addRegister("anc", 1);
+    const std::string qasm = toQasm(c);
+    EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(qasm.find("include \"qelib1.inc\";"), std::string::npos);
+    EXPECT_NE(qasm.find("qreg data[3];"), std::string::npos);
+    EXPECT_NE(qasm.find("qreg anc[1];"), std::string::npos);
+}
+
+TEST(Qasm, AnonymousRegisterFallback)
+{
+    const Circuit c(2);
+    // Circuit(2) creates a register named "q".
+    EXPECT_NE(toQasm(c).find("qreg q[2];"), std::string::npos);
+}
+
+TEST(Qasm, GateSpellings)
+{
+    Circuit c;
+    c.addRegister("r", 3);
+    c.h(0);
+    c.sdg(1);
+    c.t(2);
+    c.cx(0, 1);
+    c.cz(1, 2);
+    c.swap(0, 2);
+    c.ccx(0, 1, 2);
+    const std::string qasm = toQasm(c);
+    EXPECT_NE(qasm.find("h r[0];"), std::string::npos);
+    EXPECT_NE(qasm.find("sdg r[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("t r[2];"), std::string::npos);
+    EXPECT_NE(qasm.find("cx r[0], r[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("cz r[1], r[2];"), std::string::npos);
+    EXPECT_NE(qasm.find("swap r[0], r[2];"), std::string::npos);
+    EXPECT_NE(qasm.find("ccx r[0], r[1], r[2];"), std::string::npos);
+}
+
+TEST(Qasm, RegisterRelativeIndices)
+{
+    Circuit c;
+    c.addRegister("a", 2);
+    c.addRegister("b", 2);
+    c.cx(1, 2); // a[1] -> b[0]
+    EXPECT_NE(toQasm(c).find("cx a[1], b[0];"), std::string::npos);
+}
+
+TEST(Qasm, MeasurementsUsePerBitCregs)
+{
+    Circuit c(2);
+    const ClassicalBit b0 = c.measZ(0);
+    const ClassicalBit b1 = c.measX(1);
+    const std::string qasm = toQasm(c);
+    EXPECT_NE(qasm.find("creg c0[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("creg c1[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("measure q[0] -> c" + std::to_string(b0)),
+              std::string::npos);
+    // X-basis measurement is H-conjugated.
+    EXPECT_NE(qasm.find("h q[1];\nmeasure q[1] -> c" +
+                        std::to_string(b1)),
+              std::string::npos);
+}
+
+TEST(Qasm, ConditionedGates)
+{
+    Circuit c(2);
+    const ClassicalBit b = c.measZ(0);
+    c.appendConditioned(GateKind::S, 1, b);
+    c.czConditioned(0, 1, b);
+    const std::string qasm = toQasm(c);
+    EXPECT_NE(qasm.find("if (c0 == 1) s q[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("if (c0 == 1) cz q[0], q[1];"),
+              std::string::npos);
+}
+
+TEST(Qasm, PreparationsUseReset)
+{
+    Circuit c(1);
+    c.prepZ(0);
+    c.prepX(0);
+    const std::string qasm = toQasm(c);
+    EXPECT_NE(qasm.find("reset q[0];"), std::string::npos);
+    EXPECT_NE(qasm.find("reset q[0];\nh q[0];"), std::string::npos);
+}
+
+TEST(Qasm, AndMacrosAnnotated)
+{
+    Circuit c(3);
+    c.andInit(0, 1, 2);
+    c.andUncompute(0, 1, 2);
+    const std::string qasm = toQasm(c);
+    EXPECT_NE(qasm.find("// temporary AND (4T)"), std::string::npos);
+    EXPECT_NE(qasm.find("// AND uncompute"), std::string::npos);
+}
+
+TEST(Qasm, WholeBenchmarkExports)
+{
+    const std::string qasm = toQasm(makeGhz(16));
+    EXPECT_NE(qasm.find("qreg q[16];"), std::string::npos);
+    // 15 chained CNOTs.
+    std::size_t count = 0;
+    for (std::size_t pos = qasm.find("cx "); pos != std::string::npos;
+         pos = qasm.find("cx ", pos + 1))
+        ++count;
+    EXPECT_EQ(count, 15u);
+}
+
+TEST(Qasm, LoweredCircuitExportsCleanly)
+{
+    const std::string qasm =
+        toQasm(lowerToCliffordT(makeSquareRoot({2, 1, 1})));
+    EXPECT_NE(qasm.find("tdg"), std::string::npos);
+    EXPECT_EQ(qasm.find("ccx"), std::string::npos); // fully lowered
+}
+
+} // namespace
+} // namespace lsqca

@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace lsqca {
+namespace {
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { previous_ = logLevel(); }
+    void TearDown() override { setLogLevel(previous_); }
+    LogLevel previous_ = LogLevel::Warn;
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarnOrHigher)
+{
+    EXPECT_GE(static_cast<int>(logLevel()),
+              static_cast<int>(LogLevel::Warn));
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip)
+{
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+}
+
+TEST_F(LoggingTest, EmitBelowLevelDoesNotCrash)
+{
+    setLogLevel(LogLevel::Off);
+    logDebug("dropped ", 1);
+    logInfo("dropped ", 2.5);
+    logWarn("dropped ", "three");
+    logError("dropped ", 'x');
+}
+
+TEST_F(LoggingTest, EmitAboveLevelDoesNotCrash)
+{
+    setLogLevel(LogLevel::Debug);
+    logDebug("visible ", 42, " parts ", 1.5);
+}
+
+} // namespace
+} // namespace lsqca

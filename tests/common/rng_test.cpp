@@ -1,0 +1,97 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lsqca {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a() == b())
+            ++equal;
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowRejectsZeroBound)
+{
+    Rng rng(7);
+    EXPECT_THROW(rng.below(0), ConfigError);
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BetweenInclusiveBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.between(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, BetweenRejectsInvertedBounds)
+{
+    Rng rng(3);
+    EXPECT_THROW(rng.between(4, 2), ConfigError);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+} // namespace
+} // namespace lsqca

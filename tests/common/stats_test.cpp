@@ -1,0 +1,149 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace lsqca {
+namespace {
+
+TEST(SummaryStats, EmptyThrowsOnAccess)
+{
+    SummaryStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_THROW(s.mean(), ConfigError);
+    EXPECT_THROW(s.min(), ConfigError);
+    EXPECT_THROW(s.max(), ConfigError);
+}
+
+TEST(SummaryStats, SingleValue)
+{
+    SummaryStats s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryStats, KnownMoments)
+{
+    SummaryStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryStats, MergeMatchesCombined)
+{
+    SummaryStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double v = i * 0.7 - 3.0;
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SummaryStats, MergeWithEmpty)
+{
+    SummaryStats a, empty;
+    a.add(1.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(EmpiricalCdf, AtOnEmptyIsZero)
+{
+    EmpiricalCdf cdf;
+    EXPECT_DOUBLE_EQ(cdf.at(10.0), 0.0);
+}
+
+TEST(EmpiricalCdf, StepFunction)
+{
+    EmpiricalCdf cdf;
+    cdf.add({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.at(99.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileNearestRank)
+{
+    EmpiricalCdf cdf;
+    cdf.add({10.0, 20.0, 30.0, 40.0, 50.0});
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.2), 10.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 30.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50.0);
+    EXPECT_THROW(cdf.quantile(1.5), ConfigError);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotoneAndDeduplicated)
+{
+    EmpiricalCdf cdf;
+    cdf.add({3.0, 1.0, 3.0, 2.0, 3.0});
+    const auto curve = cdf.curve();
+    ASSERT_EQ(curve.size(), 3u);
+    EXPECT_DOUBLE_EQ(curve[0].first, 1.0);
+    EXPECT_DOUBLE_EQ(curve[0].second, 0.2);
+    EXPECT_DOUBLE_EQ(curve[2].first, 3.0);
+    EXPECT_DOUBLE_EQ(curve[2].second, 1.0);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GT(curve[i].first, curve[i - 1].first);
+        EXPECT_GT(curve[i].second, curve[i - 1].second);
+    }
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(Geomean, RejectsEmptyAndNonPositive)
+{
+    EXPECT_THROW(geomean({}), ConfigError);
+    EXPECT_THROW(geomean({1.0, 0.0}), ConfigError);
+    EXPECT_THROW(geomean({-1.0}), ConfigError);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.0);   // bin 0
+    h.add(1.9);   // bin 0
+    h.add(2.0);   // bin 1
+    h.add(9.9);   // bin 4
+    h.add(-5.0);  // clamps to bin 0
+    h.add(50.0);  // clamps to bin 4
+    EXPECT_EQ(h.binCount(0), 3u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 2u);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_DOUBLE_EQ(h.binLow(1), 2.0);
+}
+
+TEST(Histogram, RejectsBadConstruction)
+{
+    EXPECT_THROW(Histogram(0.0, 0.0, 3), ConfigError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), ConfigError);
+}
+
+} // namespace
+} // namespace lsqca

@@ -1,0 +1,69 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace lsqca {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeaders)
+{
+    EXPECT_THROW(TextTable({}), ConfigError);
+}
+
+TEST(TextTable, RejectsArityMismatch)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only one"}), ConfigError);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22222"});
+    const std::string out = t.render("demo");
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    // Header rule present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesSpecials)
+{
+    TextTable t({"x"});
+    t.addRow({"plain"});
+    t.addRow({"has,comma"});
+    t.addRow({"has\"quote"});
+    const std::string csv = t.csv();
+    EXPECT_NE(csv.find("plain\n"), std::string::npos);
+    EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::num(0.875, 3), "0.875");
+}
+
+TEST(TextTable, RowAndColumnCounts)
+{
+    TextTable t({"a", "b", "c"});
+    EXPECT_EQ(t.columns(), 3u);
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1", "2", "3"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TextTable, WriteCsvRejectsBadPath)
+{
+    TextTable t({"a"});
+    EXPECT_THROW(t.writeCsv("/nonexistent_dir_xyz/file.csv"), ConfigError);
+}
+
+} // namespace
+} // namespace lsqca

@@ -1,0 +1,67 @@
+#include "geom/coord.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace lsqca {
+namespace {
+
+TEST(Coord, EqualityAndArithmetic)
+{
+    const Coord a{1, 2};
+    const Coord b{3, -1};
+    EXPECT_EQ(a + b, (Coord{4, 1}));
+    EXPECT_EQ(b - a, (Coord{2, -3}));
+    EXPECT_EQ(a, (Coord{1, 2}));
+    EXPECT_NE(a, b);
+}
+
+TEST(Coord, ManhattanDistance)
+{
+    EXPECT_EQ(manhattan({0, 0}, {0, 0}), 0);
+    EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+    EXPECT_EQ(manhattan({-2, 5}, {1, 1}), 7);
+    EXPECT_EQ(manhattan({5, 5}, {5, 9}), 4);
+}
+
+TEST(Coord, ChebyshevDistance)
+{
+    EXPECT_EQ(chebyshev({0, 0}, {3, 4}), 4);
+    EXPECT_EQ(chebyshev({1, 1}, {1, 1}), 0);
+    EXPECT_EQ(chebyshev({-2, 0}, {2, 1}), 4);
+}
+
+TEST(Coord, MetricSymmetry)
+{
+    const Coord a{7, -3};
+    const Coord b{-1, 9};
+    EXPECT_EQ(manhattan(a, b), manhattan(b, a));
+    EXPECT_EQ(chebyshev(a, b), chebyshev(b, a));
+}
+
+TEST(Coord, TriangleInequality)
+{
+    const Coord a{0, 0}, b{5, 2}, c{9, 9};
+    EXPECT_LE(manhattan(a, c), manhattan(a, b) + manhattan(b, c));
+    EXPECT_LE(chebyshev(a, c), chebyshev(a, b) + chebyshev(b, c));
+}
+
+TEST(Coord, HashDistinguishesRowAndColumn)
+{
+    std::unordered_set<Coord> set;
+    set.insert({1, 2});
+    set.insert({2, 1});
+    set.insert({1, 2}); // duplicate
+    EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Coord, StreamOutput)
+{
+    std::ostringstream oss;
+    oss << Coord{3, -4};
+    EXPECT_EQ(oss.str(), "(3,-4)");
+}
+
+} // namespace
+} // namespace lsqca

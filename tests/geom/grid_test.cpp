@@ -1,0 +1,119 @@
+#include "geom/grid.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace lsqca {
+namespace {
+
+TEST(OccupancyGrid, ConstructionValidation)
+{
+    EXPECT_THROW(OccupancyGrid(0, 3), ConfigError);
+    EXPECT_THROW(OccupancyGrid(3, 0), ConfigError);
+    OccupancyGrid g(4, 5);
+    EXPECT_EQ(g.rows(), 4);
+    EXPECT_EQ(g.cols(), 5);
+    EXPECT_EQ(g.cellCount(), 20);
+    EXPECT_EQ(g.emptyCount(), 20);
+}
+
+TEST(OccupancyGrid, PlaceFindRemove)
+{
+    OccupancyGrid g(3, 3);
+    g.place(7, {1, 2});
+    EXPECT_EQ(g.occupiedCount(), 1);
+    EXPECT_EQ(g.at({1, 2}), 7);
+    EXPECT_TRUE(g.find(7).has_value());
+    EXPECT_EQ(g.locate(7), (Coord{1, 2}));
+    EXPECT_EQ(g.remove(7), (Coord{1, 2}));
+    EXPECT_EQ(g.occupiedCount(), 0);
+    EXPECT_FALSE(g.find(7).has_value());
+}
+
+TEST(OccupancyGrid, RejectsDoublePlacement)
+{
+    OccupancyGrid g(2, 2);
+    g.place(1, {0, 0});
+    EXPECT_THROW(g.place(1, {0, 1}), ConfigError);   // same qubit twice
+    EXPECT_THROW(g.place(2, {0, 0}), ConfigError);   // occupied cell
+    EXPECT_THROW(g.place(kNoQubit, {1, 1}), ConfigError);
+}
+
+TEST(OccupancyGrid, RemoveUnplacedThrows)
+{
+    OccupancyGrid g(2, 2);
+    EXPECT_THROW(g.remove(5), ConfigError);
+    EXPECT_THROW(g.locate(5), ConfigError);
+}
+
+TEST(OccupancyGrid, Relocate)
+{
+    OccupancyGrid g(3, 3);
+    g.place(4, {0, 0});
+    g.relocate(4, {2, 2});
+    EXPECT_EQ(g.locate(4), (Coord{2, 2}));
+    EXPECT_TRUE(g.isEmptyCell({0, 0}));
+    g.place(5, {0, 0});
+    EXPECT_THROW(g.relocate(4, {0, 0}), ConfigError);
+}
+
+TEST(OccupancyGrid, NearestEmptyPrefersClosest)
+{
+    OccupancyGrid g(3, 3);
+    for (std::int32_t r = 0; r < 3; ++r)
+        for (std::int32_t c = 0; c < 3; ++c)
+            if (!(r == 0 && c == 2) && !(r == 2 && c == 0))
+                g.place(r * 3 + c + 1, {r, c});
+    // Empties: (0,2) and (2,0).
+    EXPECT_EQ(g.nearestEmpty({0, 0}), (Coord{0, 2}));
+    EXPECT_EQ(g.nearestEmpty({2, 2}), (Coord{0, 2})); // tie -> lower row
+    EXPECT_EQ(g.nearestEmpty({2, 1}), (Coord{2, 0}));
+}
+
+TEST(OccupancyGrid, NearestEmptyOnFullGrid)
+{
+    OccupancyGrid g(2, 2);
+    for (std::int32_t i = 0; i < 4; ++i)
+        g.place(i + 1, {i / 2, i % 2});
+    EXPECT_FALSE(g.nearestEmpty({0, 0}).has_value());
+}
+
+TEST(OccupancyGrid, NearestEmptyInRow)
+{
+    OccupancyGrid g(2, 4);
+    g.place(1, {0, 0});
+    g.place(2, {0, 1});
+    // Row 0 empties: cols 2, 3.
+    EXPECT_EQ(g.nearestEmptyInRow(0, 0), (Coord{0, 2}));
+    EXPECT_EQ(g.nearestEmptyInRow(0, 3), (Coord{0, 3}));
+    EXPECT_EQ(g.nearestEmptyInRow(1, 2), (Coord{1, 2}));
+    g.place(3, {0, 2});
+    g.place(4, {0, 3});
+    EXPECT_FALSE(g.nearestEmptyInRow(0, 0).has_value());
+    EXPECT_THROW(g.nearestEmptyInRow(5, 0), ConfigError);
+}
+
+TEST(OccupancyGrid, EmptyCellsRowMajor)
+{
+    OccupancyGrid g(2, 2);
+    g.place(1, {0, 1});
+    g.place(2, {1, 0});
+    const auto empties = g.emptyCells();
+    ASSERT_EQ(empties.size(), 2u);
+    EXPECT_EQ(empties[0], (Coord{0, 0}));
+    EXPECT_EQ(empties[1], (Coord{1, 1}));
+}
+
+TEST(OccupancyGrid, ContainsBounds)
+{
+    OccupancyGrid g(2, 3);
+    EXPECT_TRUE(g.contains({0, 0}));
+    EXPECT_TRUE(g.contains({1, 2}));
+    EXPECT_FALSE(g.contains({-1, 0}));
+    EXPECT_FALSE(g.contains({2, 0}));
+    EXPECT_FALSE(g.contains({0, 3}));
+}
+
+} // namespace
+} // namespace lsqca

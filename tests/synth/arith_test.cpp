@@ -1,0 +1,262 @@
+#include "synth/arith.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/lowering.h"
+#include "circuit/statevector.h"
+#include "common/error.h"
+
+namespace lsqca {
+namespace {
+
+/** Prepare little-endian integer @p value on @p span via initial ones. */
+void
+setBits(std::vector<QubitId> &ones, const QubitSpan &span,
+        std::uint64_t value)
+{
+    for (std::size_t i = 0; i < span.size(); ++i)
+        if (value & (std::uint64_t{1} << i))
+            ones.push_back(span[i]);
+}
+
+/** Read little-endian integer from measured @p span. */
+std::uint64_t
+readBits(StateVector &sv, const QubitSpan &span)
+{
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < span.size(); ++i)
+        if (sv.measureZ(span[i]))
+            value |= std::uint64_t{1} << i;
+    return value;
+}
+
+struct AddCase
+{
+    std::uint64_t a;
+    std::uint64_t b;
+};
+
+class RippleAdd3 : public ::testing::TestWithParam<AddCase>
+{
+};
+
+TEST_P(RippleAdd3, ComputesSumAndClearsCarries)
+{
+    const auto [a_val, b_val] = GetParam();
+    Circuit circ;
+    const QubitId a0 = circ.addRegister("a", 3);
+    const QubitId b0 = circ.addRegister("b", 4);
+    const QubitId c0 = circ.addRegister("carry", 3);
+    const QubitSpan a = spanOf(a0, 3);
+    const QubitSpan b = spanOf(b0, 4);
+    const QubitSpan carry = spanOf(c0, 3);
+    rippleAdd(circ, a, b, carry);
+
+    std::vector<QubitId> ones;
+    setBits(ones, a, a_val);
+    setBits(ones, b, b_val);
+    auto run = runStateVector(circ, ones);
+    EXPECT_EQ(readBits(run.state, b), a_val + b_val);
+    EXPECT_EQ(readBits(run.state, a), a_val); // addend unchanged
+    EXPECT_EQ(readBits(run.state, carry), 0u); // scratch restored
+}
+
+std::vector<AddCase>
+allPairs3Bit()
+{
+    std::vector<AddCase> cases;
+    for (std::uint64_t a = 0; a < 8; ++a)
+        for (std::uint64_t b = 0; b < 8; ++b)
+            cases.push_back({a, b});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Exhaustive3Bit, RippleAdd3,
+                         ::testing::ValuesIn(allPairs3Bit()));
+
+TEST(RippleAdd, LoweredFormStillAddsAndCostsFourTPerBit)
+{
+    Circuit circ;
+    const QubitId a0 = circ.addRegister("a", 3);
+    const QubitId b0 = circ.addRegister("b", 4);
+    const QubitId c0 = circ.addRegister("carry", 3);
+    rippleAdd(circ, spanOf(a0, 3), spanOf(b0, 4), spanOf(c0, 3));
+    // One temporary AND per bit: 4 T each, uncomputes free.
+    EXPECT_EQ(circ.tCount(), 12);
+
+    const Circuit lowered = lowerToCliffordT(circ);
+    std::vector<QubitId> ones;
+    setBits(ones, spanOf(a0, 3), 5);
+    setBits(ones, spanOf(b0, 3), 7);
+    auto run = runStateVector(lowered, ones);
+    EXPECT_EQ(readBits(run.state, spanOf(b0, 4)), 12u);
+    EXPECT_EQ(readBits(run.state, spanOf(c0, 3)), 0u);
+}
+
+struct CtrlAddCase
+{
+    std::uint64_t a;
+    std::uint64_t b;
+    bool ctrl;
+};
+
+class RippleCtrlAdd : public ::testing::TestWithParam<CtrlAddCase>
+{
+};
+
+TEST_P(RippleCtrlAdd, AddsOnlyWhenControlIsSet)
+{
+    const auto [a_val, b_val, ctrl_on] = GetParam();
+    Circuit circ;
+    const QubitId ctl = circ.addRegister("ctl", 1);
+    const QubitId a0 = circ.addRegister("a", 3);
+    const QubitId b0 = circ.addRegister("b", 4);
+    const QubitId c0 = circ.addRegister("carry", 4);
+    const QubitSpan a = spanOf(a0, 3);
+    const QubitSpan b = spanOf(b0, 4);
+    const QubitSpan carry = spanOf(c0, 4);
+    rippleAddControlled(circ, ctl, a, b, carry);
+
+    std::vector<QubitId> ones;
+    if (ctrl_on)
+        ones.push_back(ctl);
+    setBits(ones, a, a_val);
+    setBits(ones, b, b_val);
+    auto run = runStateVector(circ, ones);
+    const std::uint64_t expected = ctrl_on ? a_val + b_val : b_val;
+    EXPECT_EQ(readBits(run.state, b), expected);
+    EXPECT_EQ(readBits(run.state, a), a_val);
+    EXPECT_EQ(readBits(run.state, carry), 0u);
+}
+
+std::vector<CtrlAddCase>
+controlledCases()
+{
+    std::vector<CtrlAddCase> cases;
+    for (std::uint64_t a = 0; a < 8; ++a)
+        for (std::uint64_t b : {0ULL, 3ULL, 5ULL, 7ULL})
+            for (bool ctrl : {false, true})
+                cases.push_back({a, b, ctrl});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep3Bit, RippleCtrlAdd,
+                         ::testing::ValuesIn(controlledCases()));
+
+TEST(RippleCtrlAdd, SuperposedControlStaysCoherent)
+{
+    // |+> control: result is an equal superposition of added / unadded.
+    Circuit circ;
+    const QubitId ctl = circ.addRegister("ctl", 1);
+    const QubitId a0 = circ.addRegister("a", 2);
+    const QubitId b0 = circ.addRegister("b", 3);
+    const QubitId c0 = circ.addRegister("carry", 3);
+    circ.h(ctl);
+    rippleAddControlled(circ, ctl, spanOf(a0, 2), spanOf(b0, 3),
+                        spanOf(c0, 3));
+    // a = 3, b = 1: outcome is (ctl=0, b=1) or (ctl=1, b=4), equal odds.
+    auto run = runStateVector(circ, {a0, a0 + 1, b0});
+    const auto p_unadded = run.state.probability(
+        (0ull << 0) | (3ull << 1) | (1ull << 3));
+    const auto p_added = run.state.probability(
+        (1ull << 0) | (3ull << 1) | (4ull << 3));
+    EXPECT_NEAR(p_unadded, 0.5, 1e-9);
+    EXPECT_NEAR(p_added, 0.5, 1e-9);
+}
+
+TEST(RippleCtrlAdd, LoweredControlledFormIsExact)
+{
+    Circuit circ;
+    const QubitId ctl = circ.addRegister("ctl", 1);
+    const QubitId a0 = circ.addRegister("a", 2);
+    const QubitId b0 = circ.addRegister("b", 3);
+    const QubitId c0 = circ.addRegister("carry", 3);
+    rippleAddControlled(circ, ctl, spanOf(a0, 2), spanOf(b0, 3),
+                        spanOf(c0, 3));
+    const Circuit lowered = lowerToCliffordT(circ);
+    std::vector<QubitId> ones{ctl};
+    setBits(ones, spanOf(a0, 2), 3);
+    setBits(ones, spanOf(b0, 3), 2);
+    auto run = runStateVector(lowered, ones);
+    EXPECT_EQ(readBits(run.state, spanOf(b0, 3)), 5u);
+    EXPECT_EQ(readBits(run.state, spanOf(c0, 3)), 0u);
+}
+
+TEST(RippleCtrlAdd, RejectsControlAliasingOperands)
+{
+    Circuit circ(10);
+    EXPECT_THROW(rippleAddControlled(circ, 0, spanOf(0, 3), spanOf(3, 4),
+                                     spanOf(7, 4)),
+                 ConfigError); // ctrl inside addend
+}
+
+TEST(Arith, SpanOf)
+{
+    const QubitSpan s = spanOf(5, 3);
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s[0], 5);
+    EXPECT_EQ(s[2], 7);
+}
+
+TEST(Arith, AdderArityValidation)
+{
+    Circuit circ(10);
+    EXPECT_THROW(rippleAdd(circ, spanOf(0, 3), spanOf(3, 3), spanOf(6, 3)),
+                 ConfigError); // b needs w+1 bits
+    EXPECT_THROW(rippleAdd(circ, spanOf(0, 3), spanOf(3, 4), spanOf(7, 2)),
+                 ConfigError); // carry needs w bits
+}
+
+TEST(PhaseOnAllOnes, SingleAndDoubleLiterals)
+{
+    Circuit circ(2);
+    circ.h(0);
+    circ.h(1);
+    phaseOnAllOnes(circ, {0, 1}, {});
+    circ.h(0);
+    circ.h(1);
+    auto run = runStateVector(circ);
+    EXPECT_LT(run.state.probability(0), 0.999); // phase acted
+    EXPECT_NEAR(run.state.norm(), 1.0, 1e-9);
+}
+
+TEST(PhaseOnAllOnes, MarksExactlyAllOnesState)
+{
+    const int k = 4;
+    Circuit circ(static_cast<std::int32_t>(k) + 2); // + 2 scratch
+    for (int q = 0; q < k; ++q)
+        circ.h(q);
+    phaseOnAllOnes(circ, {0, 1, 2, 3}, {4, 5});
+    auto run = runStateVector(circ);
+
+    // Reference: H^k then phase on |1111> via explicit CCX+CZ network.
+    StateVector ref(k + 2);
+    for (int q = 0; q < k; ++q)
+        ref.applyH(q);
+    ref.applyCCX(0, 1, 4);
+    ref.applyCCX(2, 3, 5);
+    ref.applyCZ(4, 5);
+    ref.applyCCX(2, 3, 5);
+    ref.applyCCX(0, 1, 4);
+    EXPECT_NEAR(run.state.fidelity(ref), 1.0, 1e-9);
+}
+
+TEST(PhaseOnAllOnes, ScratchRestoredToZero)
+{
+    Circuit circ(6);
+    for (int q = 0; q < 4; ++q)
+        circ.h(q);
+    phaseOnAllOnes(circ, {0, 1, 2, 3}, {4, 5});
+    auto run = runStateVector(circ);
+    EXPECT_NEAR(run.state.probabilityOne(4), 0.0, 1e-9);
+    EXPECT_NEAR(run.state.probabilityOne(5), 0.0, 1e-9);
+}
+
+TEST(PhaseOnAllOnes, ScratchSizeValidated)
+{
+    Circuit circ(5);
+    EXPECT_THROW(phaseOnAllOnes(circ, {0, 1, 2, 3}, {4}), ConfigError);
+}
+
+} // namespace
+} // namespace lsqca

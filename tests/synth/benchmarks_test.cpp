@@ -1,0 +1,310 @@
+#include "synth/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/lowering.h"
+#include "circuit/statevector.h"
+#include "common/error.h"
+
+namespace lsqca {
+namespace {
+
+// ---- paper qubit counts (Sec. VI-B) ----------------------------------
+
+TEST(PaperSizes, AdderIs433)
+{
+    EXPECT_EQ(makeAdder().numQubits(), 433);
+}
+
+TEST(PaperSizes, BvIs280)
+{
+    EXPECT_EQ(makeBernsteinVazirani().numQubits(), 280);
+}
+
+TEST(PaperSizes, CatIs260)
+{
+    EXPECT_EQ(makeCat().numQubits(), 260);
+}
+
+TEST(PaperSizes, GhzIs127)
+{
+    EXPECT_EQ(makeGhz().numQubits(), 127);
+}
+
+TEST(PaperSizes, MultiplierIs400)
+{
+    EXPECT_EQ(makeMultiplier().numQubits(), 400);
+}
+
+TEST(PaperSizes, SquareRootIs60)
+{
+    EXPECT_EQ(makeSquareRoot().numQubits(), 60);
+}
+
+struct SelectSize
+{
+    std::int32_t width;
+    std::int32_t qubits;
+};
+
+class SelectSizes : public ::testing::TestWithParam<SelectSize>
+{
+};
+
+TEST_P(SelectSizes, MatchesPaperDataCellCounts)
+{
+    const auto [width, qubits] = GetParam();
+    EXPECT_EQ(selectLayout(width).totalQubits, qubits);
+}
+
+// 143 for the Sec. VI-B instance; 467..10,235 for Fig. 15.
+INSTANTIATE_TEST_SUITE_P(PaperInstances, SelectSizes,
+                         ::testing::Values(SelectSize{11, 143},
+                                           SelectSize{21, 467},
+                                           SelectSize{41, 1711},
+                                           SelectSize{61, 3753},
+                                           SelectSize{81, 6595},
+                                           SelectSize{101, 10235}));
+
+TEST(PaperSizes, SuiteHasSevenPrograms)
+{
+    const auto suite = paperSuite(/*select_max_terms=*/10);
+    ASSERT_EQ(suite.size(), 7u);
+    EXPECT_EQ(suite[0].name, "adder");
+    EXPECT_EQ(suite[6].name, "SELECT");
+    EXPECT_EQ(suite[6].circuit.numQubits(), 143);
+}
+
+// ---- magic-state structure -------------------------------------------
+
+TEST(MagicStructure, CliffordBenchmarksHaveNoT)
+{
+    EXPECT_EQ(makeBernsteinVazirani(16).tCount(), 0);
+    EXPECT_EQ(makeCat(16).tCount(), 0);
+    EXPECT_EQ(makeGhz(16).tCount(), 0);
+}
+
+TEST(MagicStructure, ArithmeticBenchmarksConsumeT)
+{
+    EXPECT_GT(makeAdder(4).tCount(), 0);
+    EXPECT_GT(makeMultiplier({4, 3}).tCount(), 0);
+    EXPECT_GT(makeSquareRoot({3, 4, 1}).tCount(), 0);
+    EXPECT_GT(makeSelect({2, 0}).tCount(), 0);
+}
+
+// ---- functional verification (state-vector oracle) ---------------------
+
+std::uint64_t
+readSpan(StateVector &sv, QubitId first, std::int32_t size)
+{
+    std::uint64_t v = 0;
+    for (std::int32_t i = 0; i < size; ++i)
+        if (sv.measureZ(first + i))
+            v |= std::uint64_t{1} << i;
+    return v;
+}
+
+void
+setSpan(std::vector<QubitId> &ones, QubitId first, std::int32_t size,
+        std::uint64_t value)
+{
+    for (std::int32_t i = 0; i < size; ++i)
+        if (value & (std::uint64_t{1} << i))
+            ones.push_back(first + i);
+}
+
+struct AdderCase
+{
+    std::uint64_t a;
+    std::uint64_t b;
+};
+
+class AdderFunction : public ::testing::TestWithParam<AdderCase>
+{
+};
+
+TEST_P(AdderFunction, FourBitSum)
+{
+    const auto [a_val, b_val] = GetParam();
+    const Circuit circ = makeAdder(4); // 13 qubits
+    const auto &a = circ.reg("a");
+    const auto &b = circ.reg("b");
+    const auto &carry = circ.reg("carry");
+    std::vector<QubitId> ones;
+    setSpan(ones, a.first, a.size, a_val);
+    setSpan(ones, b.first, 4, b_val);
+    auto run = runStateVector(circ, ones);
+    EXPECT_EQ(readSpan(run.state, b.first, b.size), a_val + b_val);
+    EXPECT_EQ(readSpan(run.state, carry.first, carry.size), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Samples, AdderFunction,
+    ::testing::Values(AdderCase{0, 0}, AdderCase{1, 1}, AdderCase{15, 15},
+                      AdderCase{9, 6}, AdderCase{7, 12}, AdderCase{3, 5},
+                      AdderCase{15, 1}, AdderCase{8, 8}));
+
+TEST(AdderFunction, LoweredCircuitStillAdds)
+{
+    const Circuit lowered = lowerToCliffordT(makeAdder(3));
+    const auto &a = lowered.reg("a");
+    const auto &b = lowered.reg("b");
+    std::vector<QubitId> ones;
+    setSpan(ones, a.first, 3, 5);
+    setSpan(ones, b.first, 3, 6);
+    auto run = runStateVector(lowered, ones);
+    EXPECT_EQ(readSpan(run.state, b.first, b.size), 11u);
+}
+
+struct MulCase
+{
+    std::uint64_t a;
+    std::uint64_t b;
+};
+
+class MultiplierFunction : public ::testing::TestWithParam<MulCase>
+{
+};
+
+TEST_P(MultiplierFunction, ThreeByTwoBitProduct)
+{
+    const auto [a_val, b_val] = GetParam();
+    const Circuit circ = makeMultiplier({3, 2}); // 3+2+5+4 = 14 qubits
+    const auto &a = circ.reg("a");
+    const auto &b = circ.reg("b");
+    const auto &p = circ.reg("product");
+    const auto &carry = circ.reg("carry");
+    std::vector<QubitId> ones;
+    setSpan(ones, a.first, a.size, a_val);
+    setSpan(ones, b.first, b.size, b_val);
+    auto run = runStateVector(circ, ones);
+    EXPECT_EQ(readSpan(run.state, p.first, p.size), a_val * b_val);
+    EXPECT_EQ(readSpan(run.state, a.first, a.size), a_val);
+    EXPECT_EQ(readSpan(run.state, b.first, b.size), b_val);
+    EXPECT_EQ(readSpan(run.state, carry.first, carry.size), 0u);
+}
+
+std::vector<MulCase>
+allMul3x2()
+{
+    std::vector<MulCase> cases;
+    for (std::uint64_t a = 0; a < 8; ++a)
+        for (std::uint64_t b = 0; b < 4; ++b)
+            cases.push_back({a, b});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Exhaustive3x2, MultiplierFunction,
+                         ::testing::ValuesIn(allMul3x2()));
+
+TEST(BvFunction, RecoversSecret)
+{
+    const std::uint64_t secret = 0b1011010;
+    const Circuit circ = makeBernsteinVazirani(8, secret);
+    auto run = runStateVector(circ);
+    // Measurements wrote data bits in order; bit i of the secret.
+    for (int i = 0; i < 7; ++i)
+        EXPECT_EQ(run.bits[static_cast<std::size_t>(i)] != 0,
+                  ((secret >> i) & 1) != 0)
+            << "bit " << i;
+}
+
+TEST(BvFunction, AllOnesDefaultSecret)
+{
+    const Circuit circ = makeBernsteinVazirani(6);
+    auto run = runStateVector(circ);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(run.bits[static_cast<std::size_t>(i)], 1);
+}
+
+TEST(CatGhzFunction, ProduceMacroscopicSuperposition)
+{
+    for (const Circuit &circ : {makeCat(5), makeGhz(5)}) {
+        auto run = runStateVector(circ);
+        EXPECT_NEAR(run.state.probability(0b00000), 0.5, 1e-9);
+        EXPECT_NEAR(run.state.probability(0b11111), 0.5, 1e-9);
+    }
+}
+
+TEST(CatGhzFunction, BothAreSerialChains)
+{
+    // QASMBench's cat and ghz are both linear CX chains; they differ
+    // only in qubit count (260 vs 127 at paper scale).
+    EXPECT_EQ(makeCat(64).unitDepth(), 64);  // h + 63 chained cx
+    EXPECT_EQ(makeGhz(64).unitDepth(), 64);
+    EXPECT_EQ(makeCat(64).size(), makeGhz(64).size());
+}
+
+TEST(SquareRootFunction, GroverFindsTheRoot)
+{
+    // k=2, N=1: unique solution x=1 among 4 candidates; one Grover
+    // iteration amplifies it to certainty.
+    SquareRootParams params;
+    params.width = 2;
+    params.target = 1;
+    params.iterations = 1;
+    const Circuit circ = makeSquareRoot(params);
+    ASSERT_EQ(circ.numQubits(), 12);
+    auto run = runStateVector(circ);
+    // x register is measured last; bits live in run.bits tail. Check
+    // via the recorded measurement outcomes: x must equal 1.
+    const auto &x = circ.reg("x");
+    (void)x;
+    // The two measured bits are the final two classical bits.
+    const auto nbits = run.bits.size();
+    ASSERT_GE(nbits, 2u);
+    EXPECT_EQ(run.bits[nbits - 2], 1); // x bit 0
+    EXPECT_EQ(run.bits[nbits - 1], 0); // x bit 1
+}
+
+TEST(SquareRootFunction, ParameterValidation)
+{
+    EXPECT_THROW(makeSquareRoot({1, 0, 1}), ConfigError);
+    EXPECT_THROW(makeSquareRoot({4, 0, 0}), ConfigError);
+    EXPECT_THROW(makeSquareRoot({2, 100, 1}), ConfigError); // N too big
+}
+
+TEST(Heisenberg, TermCountAndOrder)
+{
+    const auto terms = heisenbergTerms(3);
+    EXPECT_EQ(terms.size(), 36u); // 6 * 3 * 2
+    // First edge: (0,0)-(0,1) horizontally, XX then YY then ZZ.
+    EXPECT_EQ(terms[0].kind, PauliTerm::Kind::XX);
+    EXPECT_EQ(terms[0].site0, 0);
+    EXPECT_EQ(terms[0].site1, 1);
+    EXPECT_EQ(terms[1].kind, PauliTerm::Kind::YY);
+    EXPECT_EQ(terms[2].kind, PauliTerm::Kind::ZZ);
+    // Second edge from site 0 goes down.
+    EXPECT_EQ(terms[3].site0, 0);
+    EXPECT_EQ(terms[3].site1, 3);
+}
+
+TEST(Heisenberg, ConsecutiveTermsAreSpatiallyLocal)
+{
+    const auto terms = heisenbergTerms(5);
+    std::int64_t local = 0;
+    for (std::size_t i = 1; i < terms.size(); ++i) {
+        const auto dist = std::min(
+            std::abs(terms[i].site0 - terms[i - 1].site0),
+            std::abs(terms[i].site1 - terms[i - 1].site1));
+        if (dist <= 5)
+            ++local;
+    }
+    EXPECT_GT(static_cast<double>(local) /
+                  static_cast<double>(terms.size() - 1),
+              0.9);
+}
+
+TEST(Benchmarks, RegisterNamesForAnalysis)
+{
+    const Circuit sel = makeSelect({2, 0});
+    EXPECT_EQ(sel.registers().size(), 3u);
+    EXPECT_EQ(sel.registers()[0].name, "control");
+    EXPECT_EQ(sel.registers()[1].name, "temporal");
+    EXPECT_EQ(sel.registers()[2].name, "system");
+    const Circuit mul = makeMultiplier({3, 2});
+    EXPECT_EQ(mul.registers().size(), 4u);
+}
+
+} // namespace
+} // namespace lsqca

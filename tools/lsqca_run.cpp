@@ -1,0 +1,263 @@
+/**
+ * @file
+ * lsqca_run — command-line driver for the whole pipeline.
+ *
+ * Synthesizes a named benchmark (or assembles an .lsq file), runs it on
+ * a configurable machine, and prints results; can also emit the
+ * closed-form resource estimate, the disassembly, or OpenQASM.
+ *
+ * Examples:
+ *   lsqca_run --benchmark multiplier --sam line --banks 4
+ *   lsqca_run --benchmark select --width 21 --hybrid 0.07 --factories 4
+ *   lsqca_run --benchmark adder --estimate
+ *   lsqca_run --benchmark ghz --emit-qasm
+ *   lsqca_run --assemble program.lsq --sam point
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "analysis/estimator.h"
+#include "analysis/trace_analysis.h"
+#include "circuit/lowering.h"
+#include "circuit/qasm.h"
+#include "common/table.h"
+#include "isa/assembler.h"
+#include "sim/simulator.h"
+#include "synth/benchmarks.h"
+#include "translate/translate.h"
+
+namespace {
+
+using namespace lsqca;
+
+struct Options
+{
+    std::string benchmark = "multiplier";
+    std::optional<std::string> assemblePath;
+    SamKind sam = SamKind::Line;
+    std::int32_t banks = 1;
+    std::int32_t factories = 1;
+    double hybrid = 0.0;
+    std::int32_t width = 11; // SELECT lattice width
+    std::int64_t prefix = 0;
+    PlacementPolicy placement = PlacementPolicy::RowMajor;
+    bool estimateOnly = false;
+    bool emitQasm = false;
+    bool emitAsm = false;
+    bool trace = false;
+    bool compareConventional = true;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout <<
+        "usage: lsqca_run [options]\n"
+        "  --benchmark NAME   adder|bv|cat|ghz|multiplier|square_root|"
+        "select (default multiplier)\n"
+        "  --assemble FILE    run an assembled .lsq program instead\n"
+        "  --sam KIND         point|line|conventional (default line)\n"
+        "  --banks N          SAM bank count (default 1)\n"
+        "  --factories N      MSF count (default 1)\n"
+        "  --hybrid F         conventional-region ratio in [0,1]\n"
+        "  --width W          SELECT lattice width (default 11)\n"
+        "  --prefix N         simulate only the first N instructions\n"
+        "  --placement P      row-major|interleaved\n"
+        "  --estimate         print the closed-form estimate and exit\n"
+        "  --emit-qasm        print OpenQASM 2.0 and exit\n"
+        "  --emit-asm         print LSQCA assembly and exit\n"
+        "  --trace            include locality analysis in the report\n"
+        "  --no-baseline      skip the conventional comparison run\n";
+    std::exit(code);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(2);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--benchmark") {
+            opt.benchmark = need(i);
+        } else if (arg == "--assemble") {
+            opt.assemblePath = need(i);
+        } else if (arg == "--sam") {
+            const std::string kind = need(i);
+            if (kind == "point")
+                opt.sam = SamKind::Point;
+            else if (kind == "line")
+                opt.sam = SamKind::Line;
+            else if (kind == "conventional")
+                opt.sam = SamKind::Conventional;
+            else
+                usage(2);
+        } else if (arg == "--banks") {
+            opt.banks = std::atoi(need(i));
+        } else if (arg == "--factories") {
+            opt.factories = std::atoi(need(i));
+        } else if (arg == "--hybrid") {
+            opt.hybrid = std::atof(need(i));
+        } else if (arg == "--width") {
+            opt.width = std::atoi(need(i));
+        } else if (arg == "--prefix") {
+            opt.prefix = std::atoll(need(i));
+        } else if (arg == "--placement") {
+            const std::string policy = need(i);
+            if (policy == "row-major")
+                opt.placement = PlacementPolicy::RowMajor;
+            else if (policy == "interleaved")
+                opt.placement = PlacementPolicy::Interleaved;
+            else
+                usage(2);
+        } else if (arg == "--estimate") {
+            opt.estimateOnly = true;
+        } else if (arg == "--emit-qasm") {
+            opt.emitQasm = true;
+        } else if (arg == "--emit-asm") {
+            opt.emitAsm = true;
+        } else if (arg == "--trace") {
+            opt.trace = true;
+        } else if (arg == "--no-baseline") {
+            opt.compareConventional = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage(2);
+        }
+    }
+    return opt;
+}
+
+Circuit
+synthesize(const Options &opt)
+{
+    if (opt.benchmark == "adder")
+        return makeAdder();
+    if (opt.benchmark == "bv")
+        return makeBernsteinVazirani();
+    if (opt.benchmark == "cat")
+        return makeCat();
+    if (opt.benchmark == "ghz")
+        return makeGhz();
+    if (opt.benchmark == "multiplier")
+        return makeMultiplier();
+    if (opt.benchmark == "square_root")
+        return makeSquareRoot();
+    if (opt.benchmark == "select")
+        return makeSelect({opt.width, 0});
+    throw ConfigError("unknown benchmark: " + opt.benchmark);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const Options opt = parse(argc, argv);
+
+        Program program = [&] {
+            if (opt.assemblePath) {
+                std::ifstream in(*opt.assemblePath);
+                LSQCA_REQUIRE(in.good(), "cannot open " +
+                                             *opt.assemblePath);
+                std::ostringstream text;
+                text << in.rdbuf();
+                return assemble(text.str());
+            }
+            const Circuit circ = synthesize(opt);
+            if (opt.emitQasm) {
+                std::cout << toQasm(circ);
+                std::exit(0);
+            }
+            return translate(lowerToCliffordT(circ));
+        }();
+
+        if (opt.emitAsm) {
+            std::cout << program.disassemble();
+            return 0;
+        }
+
+        ArchConfig cfg;
+        cfg.sam = opt.sam;
+        cfg.banks = opt.banks;
+        cfg.factories = opt.factories;
+        cfg.hybridFraction = opt.hybrid;
+        cfg.placement = opt.placement;
+
+        if (opt.estimateOnly) {
+            const ResourceEstimate est = estimateResources(program, cfg);
+            std::cout << est.report();
+            const std::int32_t d = requiredCodeDistance(
+                est.lowerBoundBeats, est.floorplan.totalCells);
+            std::cout << "  code distance (1% run budget): " << d
+                      << "\n  physical qubits      : "
+                      << physicalQubits(est.floorplan.totalCells, d)
+                      << "\n";
+            return 0;
+        }
+
+        SimOptions sim_opts;
+        sim_opts.arch = cfg;
+        sim_opts.maxInstructions = opt.prefix;
+        sim_opts.recordTrace = opt.trace;
+        const SimResult r = simulate(program, sim_opts);
+
+        TextTable table({"metric", "value"});
+        table.addRow({"machine", cfg.label()});
+        table.addRow({"placement", placementPolicyName(cfg.placement)});
+        table.addRow({"instructions",
+                      std::to_string(r.instructionsSimulated)});
+        table.addRow({"execution [beats]",
+                      std::to_string(r.execBeats)});
+        table.addRow({"CPI", TextTable::num(r.cpi, 3)});
+        table.addRow({"memory density",
+                      TextTable::num(r.density(), 3)});
+        table.addRow({"memory motion [beats]",
+                      std::to_string(r.memoryBeats)});
+        table.addRow({"magic consumed",
+                      std::to_string(r.magicConsumed)});
+        table.addRow({"magic stall [beats]",
+                      std::to_string(r.magicStallBeats)});
+        if (opt.compareConventional &&
+            cfg.sam != SamKind::Conventional) {
+            const SimResult conv = simulateConventional(
+                program, opt.factories, opt.prefix);
+            table.addRow(
+                {"overhead vs conventional",
+                 TextTable::num(static_cast<double>(r.execBeats) /
+                                    static_cast<double>(conv.execBeats),
+                                3)});
+        }
+        std::cout << table.render("lsqca_run");
+
+        if (opt.trace) {
+            const TraceAnalysis analysis(program, r);
+            std::cout << "\nlocality: mean period "
+                      << TextTable::num(analysis.meanPeriod(), 1)
+                      << " beats, sequential fraction "
+                      << TextTable::num(analysis.sequentialFraction(),
+                                        3)
+                      << ", magic interval "
+                      << TextTable::num(
+                             analysis.magicDemandInterval(), 2)
+                      << " beats\n";
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "lsqca_run: " << e.what() << "\n";
+        return 1;
+    }
+}
