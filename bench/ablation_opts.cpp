@@ -8,7 +8,12 @@
  *   - bank-count sweep.
  * Reported on the two headline workloads (multiplier, SELECT) plus the
  * worst-case Clifford chain (cat).
+ *
+ * All variant points fan out over the sweep engine (`--threads N`);
+ * BENCH_ablation.json records per-job metrics.
  */
+
+#include <functional>
 
 #include "bench_util.h"
 
@@ -18,19 +23,49 @@ namespace {
 struct Work
 {
     std::string name;
-    Circuit lowered;
+    Program inMem;
+    Program ldSt;
     std::int64_t prefix;
 };
 
-double
-overheadOf(const Program &program, const ArchConfig &cfg,
-           std::int64_t prefix, double conv_beats)
+struct Variant
 {
-    SimOptions opts;
-    opts.arch = cfg;
-    opts.maxInstructions = prefix;
-    return static_cast<double>(simulate(program, opts).execBeats) /
-           conv_beats;
+    const char *label;
+    bool useLdSt; ///< run the explicit-LD/ST translation
+    std::function<void(ArchConfig &)> mutate;
+};
+
+const std::vector<Variant> &
+variants()
+{
+    static const std::vector<Variant> kVariants = {
+        {"baseline (all paper opts)", false, [](ArchConfig &) {}},
+        {"no locality-aware store", false,
+         [](ArchConfig &cfg) { cfg.localityStore = false; }},
+        {"no in-memory ops (LD/ST everywhere)", true,
+         [](ArchConfig &cfg) { cfg.inMemoryOps = false; }},
+        {"+ direct-surgery extension", false,
+         [](ArchConfig &cfg) { cfg.directSurgery = true; }},
+        {"buffer cap 1", false,
+         [](ArchConfig &cfg) { cfg.bufferCap = 1; }},
+        {"buffer cap 8", false,
+         [](ArchConfig &cfg) { cfg.bufferCap = 8; }},
+        {"cold magic buffer", false,
+         [](ArchConfig &cfg) { cfg.warmBuffer = false; }},
+        {"2 banks", false, [](ArchConfig &cfg) { cfg.banks = 2; }},
+        {"no row-parallel unitaries", false,
+         [](ArchConfig &cfg) { cfg.rowParallelOps = false; }},
+        {"interleaved placement", false,
+         [](ArchConfig &cfg) {
+             cfg.placement = PlacementPolicy::Interleaved;
+         }},
+        {"interleaved + direct surgery", false,
+         [](ArchConfig &cfg) {
+             cfg.placement = PlacementPolicy::Interleaved;
+             cfg.directSurgery = true;
+         }},
+    };
+    return kVariants;
 }
 
 } // namespace
@@ -43,69 +78,57 @@ main(int argc, char **argv)
     const auto args = bench::parseArgs(argc, argv);
 
     std::vector<Work> works;
-    works.push_back(
-        {"multiplier", lowerToCliffordT(makeMultiplier()),
-         args.full ? 0 : 60'000});
-    works.push_back({"SELECT", lowerToCliffordT(makeSelect({11, 0})),
-                     args.full ? 0 : 60'000});
-    works.push_back({"cat", lowerToCliffordT(makeCat()), 0});
-
-    for (const auto &work : works) {
-        const Program in_mem = translate(work.lowered);
+    auto addWork = [&](const char *name, const Circuit &lowered,
+                       std::int64_t prefix) {
         TranslateOptions explicit_ldst;
         explicit_ldst.inMemoryOps = false;
-        const Program ld_st = translate(work.lowered, explicit_ldst);
+        works.push_back({name, translate(lowered),
+                         translate(lowered, explicit_ldst), prefix});
+    };
+    addWork("multiplier", lowerToCliffordT(makeMultiplier()),
+            args.full ? 0 : 60'000);
+    addWork("SELECT", lowerToCliffordT(makeSelect({11, 0})),
+            args.full ? 0 : 60'000);
+    addWork("cat", lowerToCliffordT(makeCat()), 0);
 
-        const double conv = static_cast<double>(
-            simulateConventional(in_mem, 1, work.prefix).execBeats);
-
-        TextTable table({"variant", "point#1 overhead",
-                         "line#1 overhead"});
-        auto addRow = [&](const std::string &label, const Program &prog,
-                          auto mutate) {
-            std::vector<std::string> row{label};
+    bench::Sweep sweep;
+    for (const auto &work : works) {
+        ArchConfig conv;
+        conv.sam = SamKind::Conventional;
+        sweep.add(work.name + "/conventional", work.inMem, conv,
+                  work.prefix);
+        for (const auto &variant : variants()) {
             for (SamKind sam : {SamKind::Point, SamKind::Line}) {
                 ArchConfig cfg;
                 cfg.sam = sam;
-                mutate(cfg);
-                row.push_back(TextTable::num(
-                    overheadOf(prog, cfg, work.prefix, conv), 3));
+                variant.mutate(cfg);
+                sweep.add(work.name + "/" + variant.label + "/" +
+                              cfg.label(),
+                          variant.useLdSt ? work.ldSt : work.inMem, cfg,
+                          work.prefix);
             }
+        }
+    }
+    sweep.run(args.threads);
+
+    for (const auto &work : works) {
+        const double conv =
+            static_cast<double>(sweep.next().execBeats);
+        TextTable table({"variant", "point#1 overhead",
+                         "line#1 overhead"});
+        for (const auto &variant : variants()) {
+            std::vector<std::string> row{variant.label};
+            for (int s = 0; s < 2; ++s)
+                row.push_back(TextTable::num(
+                    static_cast<double>(sweep.next().execBeats) / conv,
+                    3));
             table.addRow(row);
-        };
-
-        addRow("baseline (all paper opts)", in_mem,
-               [](ArchConfig &) {});
-        addRow("no locality-aware store", in_mem, [](ArchConfig &cfg) {
-            cfg.localityStore = false;
-        });
-        addRow("no in-memory ops (LD/ST everywhere)", ld_st,
-               [](ArchConfig &cfg) { cfg.inMemoryOps = false; });
-        addRow("+ direct-surgery extension", in_mem,
-               [](ArchConfig &cfg) { cfg.directSurgery = true; });
-        addRow("buffer cap 1", in_mem,
-               [](ArchConfig &cfg) { cfg.bufferCap = 1; });
-        addRow("buffer cap 8", in_mem,
-               [](ArchConfig &cfg) { cfg.bufferCap = 8; });
-        addRow("cold magic buffer", in_mem,
-               [](ArchConfig &cfg) { cfg.warmBuffer = false; });
-        addRow("2 banks", in_mem,
-               [](ArchConfig &cfg) { cfg.banks = 2; });
-        addRow("no row-parallel unitaries", in_mem,
-               [](ArchConfig &cfg) { cfg.rowParallelOps = false; });
-        addRow("interleaved placement", in_mem, [](ArchConfig &cfg) {
-            cfg.placement = PlacementPolicy::Interleaved;
-        });
-        addRow("interleaved + direct surgery", in_mem,
-               [](ArchConfig &cfg) {
-                   cfg.placement = PlacementPolicy::Interleaved;
-                   cfg.directSurgery = true;
-               });
-
+        }
         bench::emit(table,
                     "Ablation (" + work.name +
                         ", factory 1, overhead vs conventional)",
                     args, "ablation_" + work.name);
     }
+    sweep.writeJson("ablation", args);
     return 0;
 }

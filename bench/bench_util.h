@@ -9,6 +9,7 @@
  */
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -17,9 +18,11 @@
 
 #include "arch/config.h"
 #include "circuit/lowering.h"
+#include "common/error.h"
 #include "common/table.h"
 #include "isa/program.h"
 #include "sim/simulator.h"
+#include "sweep/sweep.h"
 #include "synth/benchmarks.h"
 #include "translate/translate.h"
 
@@ -92,11 +95,20 @@ fig13Machines(std::int32_t factories)
     return machines;
 }
 
-/** Parse "--csv <dir>" and "--full" from argv. */
+/**
+ * Parse "--csv <dir>", "--full", "--threads N", "--out <dir>", and
+ * "--smoke" from argv.
+ */
 struct BenchArgs
 {
     std::optional<std::string> csvDir;
     bool full = false;
+    /** Sweep workers; 0 = hardware concurrency. */
+    std::int32_t threads = 0;
+    /** Where BENCH_*.json lands. */
+    std::string outDir = "bench/out";
+    /** Reduced-size run for CI (micro_kernels). */
+    bool smoke = false;
 };
 
 inline BenchArgs
@@ -108,12 +120,83 @@ parseArgs(int argc, char **argv)
             args.csvDir = argv[++i];
         else if (std::strcmp(argv[i], "--full") == 0)
             args.full = true;
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            args.threads =
+                static_cast<std::int32_t>(std::atoi(argv[++i]));
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            args.outDir = argv[++i];
+        else if (std::strcmp(argv[i], "--smoke") == 0)
+            args.smoke = true;
         else
             std::cerr << "unknown argument: " << argv[i]
-                      << " (supported: --csv <dir>, --full)\n";
+                      << " (supported: --csv <dir>, --full, --threads N,"
+                         " --out <dir>, --smoke)\n";
     }
     return args;
 }
+
+/**
+ * Job-list builder + result cursor for porting the serial figure loops
+ * onto SweepEngine: phase one walks the bench's nested loops pushing
+ * jobs, the engine fans them out, and phase two re-walks the same loops
+ * consuming results in the same order. The cursor asserts the two walks
+ * stayed aligned.
+ */
+class Sweep
+{
+  public:
+    /** Queue one job; @p prefix caps instructions (0 = whole program). */
+    void
+    add(std::string name, const Program &program, const ArchConfig &arch,
+        std::int64_t prefix = 0)
+    {
+        SweepJob job;
+        job.name = std::move(name);
+        job.program = &program;
+        job.options.arch = arch;
+        job.options.maxInstructions = prefix;
+        jobs_.push_back(std::move(job));
+    }
+
+    /** Fan all queued jobs across @p threads workers (0 = hardware). */
+    void
+    run(std::int32_t threads)
+    {
+        SweepEngine engine({threads});
+        report_ = engine.run(jobs_);
+        cursor_ = 0;
+    }
+
+    /** Next result, in the order add() was called. */
+    const SimResult &
+    next()
+    {
+        LSQCA_REQUIRE(cursor_ < report_.results.size(),
+                      "sweep cursor ran past the job list");
+        return report_.results[cursor_++];
+    }
+
+    const std::vector<SweepJob> &jobs() const { return jobs_; }
+    const SweepReport &report() const { return report_; }
+
+    /** Write BENCH_<name>.json and log where it landed. */
+    void
+    writeJson(const std::string &benchName, const BenchArgs &args) const
+    {
+        const std::string path = writeBenchJson(
+            benchName, benchReport(benchName, jobs_, report_),
+            args.outDir);
+        std::cerr << benchName << ": " << jobs_.size() << " jobs, "
+                  << report_.threads << " threads, "
+                  << TextTable::num(report_.wallSeconds, 3) << " s -> "
+                  << path << "\n";
+    }
+
+  private:
+    std::vector<SweepJob> jobs_;
+    SweepReport report_;
+    std::size_t cursor_ = 0;
+};
 
 /** Print a table and mirror it to <dir>/<stem>.csv when requested. */
 inline void

@@ -9,6 +9,10 @@
  * penalties (no magic bottleneck to hide behind) while the arithmetic
  * and SELECT benchmarks stay close to conventional; more factories widen
  * the gap; more banks close it.
+ *
+ * All (benchmark x machine x factory) points fan out over the sweep
+ * engine (`--threads N`); results and tables are identical to the old
+ * serial loop, and BENCH_fig13.json records per-job metrics.
  */
 
 #include "bench_util.h"
@@ -20,14 +24,25 @@ main(int argc, char **argv)
     const auto args = bench::parseArgs(argc, argv);
     const auto loads = bench::paperWorkloads(args.full);
 
+    bench::Sweep sweep;
+    for (std::int32_t factories : {1, 2, 4})
+        for (const auto &load : loads)
+            for (const auto &machine : bench::fig13Machines(factories))
+                sweep.add(load.name + "/" + machine.label() + "/f" +
+                              std::to_string(factories),
+                          load.program, machine, load.prefix);
+    sweep.run(args.threads);
+
+    const std::size_t machines_per_load =
+        bench::fig13Machines(1).size();
     for (std::int32_t factories : {1, 2, 4}) {
         TextTable table({"benchmark", "point#1", "point#2", "line#1",
                          "line#2", "line#4", "conventional",
                          "overhead(line#1)", "overhead(point#1)"});
         for (const auto &load : loads) {
             std::vector<double> cpis;
-            for (const auto &machine : bench::fig13Machines(factories))
-                cpis.push_back(bench::run(load, machine).cpi);
+            for (std::size_t m = 0; m < machines_per_load; ++m)
+                cpis.push_back(sweep.next().cpi);
             std::vector<std::string> row{load.name};
             for (double cpi : cpis)
                 row.push_back(TextTable::num(cpi, 2));
@@ -42,5 +57,6 @@ main(int argc, char **argv)
                         (factories == 1 ? "y" : "ies"),
                     args, "fig13_f" + std::to_string(factories));
     }
+    sweep.writeJson("fig13", args);
     return 0;
 }

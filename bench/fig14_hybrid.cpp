@@ -8,13 +8,46 @@
  * paper's bottom row.
  *
  * Default runs use steady-state prefixes for the long benchmarks; pass
- * --full for complete executions (slower).
+ * --full for complete executions (slower). The ~1.8k simulation points
+ * fan out over the sweep engine (`--threads N`); tables are identical
+ * to the serial loop and BENCH_fig14.json records per-job metrics.
  */
 
 #include <map>
 
 #include "bench_util.h"
 #include "common/stats.h"
+
+namespace lsqca {
+namespace {
+
+struct SamChoice
+{
+    const char *label;
+    SamKind sam;
+    std::int32_t banks;
+};
+
+constexpr SamChoice kChoices[] = {
+    {"point#1", SamKind::Point, 1},
+    {"point#2", SamKind::Point, 2},
+    {"line#1", SamKind::Line, 1},
+    {"line#4", SamKind::Line, 4},
+};
+
+ArchConfig
+hybridConfig(const SamChoice &choice, std::int32_t factories, double f)
+{
+    ArchConfig cfg;
+    cfg.sam = choice.sam;
+    cfg.banks = choice.banks;
+    cfg.factories = factories;
+    cfg.hybridFraction = f;
+    return cfg;
+}
+
+} // namespace
+} // namespace lsqca
 
 int
 main(int argc, char **argv)
@@ -23,30 +56,40 @@ main(int argc, char **argv)
     const auto args = bench::parseArgs(argc, argv);
     const auto loads = bench::paperWorkloads(args.full);
 
-    struct SamChoice
-    {
-        const char *label;
-        SamKind sam;
-        std::int32_t banks;
-    };
-    const SamChoice choices[] = {
-        {"point#1", SamKind::Point, 1},
-        {"point#2", SamKind::Point, 2},
-        {"line#1", SamKind::Line, 1},
-        {"line#4", SamKind::Line, 4},
-    };
+    // Phase 1: queue every simulation point, in the exact order phase 2
+    // consumes them.
+    bench::Sweep sweep;
+    for (std::int32_t factories : {1, 2, 4}) {
+        for (const auto &load : loads) {
+            ArchConfig conv;
+            conv.sam = SamKind::Conventional;
+            conv.factories = factories;
+            sweep.add(load.name + "/conventional/f" +
+                          std::to_string(factories),
+                      load.program, conv, load.prefix);
+            for (int step = 0; step <= 20; ++step) {
+                const double f = 0.05 * step;
+                for (const auto &choice : kChoices)
+                    sweep.add(load.name + "/" + choice.label + "/h" +
+                                  TextTable::num(f, 2) + "/f" +
+                                  std::to_string(factories),
+                              load.program,
+                              hybridConfig(choice, factories, f),
+                              load.prefix);
+            }
+        }
+    }
+    sweep.run(args.threads);
 
+    // Phase 2: re-walk the loops, consuming results into the tables.
     for (std::int32_t factories : {1, 2, 4}) {
         // overhead[label][f-step] accumulated for the GEOMEAN row.
         std::map<std::string, std::vector<std::vector<double>>> overs;
         std::map<std::string, std::vector<std::vector<double>>> dens;
 
         for (const auto &load : loads) {
-            ArchConfig conv;
-            conv.sam = SamKind::Conventional;
-            conv.factories = factories;
             const double conv_beats =
-                static_cast<double>(bench::run(load, conv).execBeats);
+                static_cast<double>(sweep.next().execBeats);
 
             TextTable table({"f", "point#1 dens", "point#1 ovh",
                              "point#2 dens", "point#2 ovh",
@@ -55,13 +98,8 @@ main(int argc, char **argv)
             for (int step = 0; step <= 20; ++step) {
                 const double f = 0.05 * step;
                 std::vector<std::string> row{TextTable::num(f, 2)};
-                for (const auto &choice : choices) {
-                    ArchConfig cfg;
-                    cfg.sam = choice.sam;
-                    cfg.banks = choice.banks;
-                    cfg.factories = factories;
-                    cfg.hybridFraction = f;
-                    const SimResult r = bench::run(load, cfg);
+                for (const auto &choice : kChoices) {
+                    const SimResult &r = sweep.next();
                     const double overhead =
                         static_cast<double>(r.execBeats) / conv_beats;
                     row.push_back(TextTable::num(r.density(), 3));
@@ -93,7 +131,7 @@ main(int argc, char **argv)
                        "line#1 ovh", "line#4 dens", "line#4 ovh"});
         for (int step = 0; step <= 20; ++step) {
             std::vector<std::string> row{TextTable::num(0.05 * step, 2)};
-            for (const auto &choice : choices) {
+            for (const auto &choice : kChoices) {
                 row.push_back(TextTable::num(
                     geomean(
                         dens[choice.label][static_cast<std::size_t>(step)]),
@@ -110,5 +148,6 @@ main(int argc, char **argv)
                         std::to_string(factories) + " factories)",
                     args, "fig14_geomean_f" + std::to_string(factories));
     }
+    sweep.writeJson("fig14", args);
     return 0;
 }

@@ -8,6 +8,9 @@
  *
  * The large instances are evaluated on a steady-state unary-iteration
  * prefix (the loop is periodic); pass --full for complete circuits.
+ * Each width's circuit is synthesized once, then all machine points fan
+ * out over the sweep engine (`--threads N`); BENCH_fig15.json records
+ * per-job metrics.
  */
 
 #include "bench_util.h"
@@ -15,11 +18,23 @@
 namespace lsqca {
 namespace {
 
-struct Row
+struct Config
 {
-    std::string label;
-    double density;
-    double overhead;
+    const char *label;
+    SamKind sam;
+    std::int32_t banks;
+    bool hybrid;
+};
+
+constexpr Config kConfigs[] = {
+    {"point#1", SamKind::Point, 1, false},
+    {"point#2", SamKind::Point, 2, false},
+    {"line#1", SamKind::Line, 1, false},
+    {"line#4", SamKind::Line, 4, false},
+    {"hybrid point#1", SamKind::Point, 1, true},
+    {"hybrid point#2", SamKind::Point, 2, true},
+    {"hybrid line#1", SamKind::Line, 1, true},
+    {"hybrid line#4", SamKind::Line, 4, true},
 };
 
 } // namespace
@@ -33,62 +48,67 @@ main(int argc, char **argv)
 
     const std::int32_t widths[] = {21, 41, 61, 81, 101};
 
-    for (std::int32_t factories : {1, 2, 4}) {
-        TextTable table({"width", "data qubits", "config", "density",
-                         "exec overhead"});
-        for (std::int32_t width : widths) {
-            const SelectLayout layout = selectLayout(width);
-            // Steady-state prefix: enough unary-iteration periods for
-            // the amortized walker cost to converge.
-            SelectParams params;
-            params.width = width;
-            params.maxTerms =
-                args.full ? 0
-                          : std::min<std::int64_t>(layout.numTerms, 1200);
-            bench::Workload load{
-                "SELECT" + std::to_string(width),
-                translate(lowerToCliffordT(makeSelect(params))), 0};
+    // Synthesize each SELECT instance once; every machine point reuses
+    // the same translated program.
+    std::vector<SelectLayout> layouts;
+    std::vector<bench::Workload> instances;
+    std::vector<double> hotFractions;
+    for (std::int32_t width : widths) {
+        const SelectLayout layout = selectLayout(width);
+        // Steady-state prefix: enough unary-iteration periods for the
+        // amortized walker cost to converge.
+        SelectParams params;
+        params.width = width;
+        params.maxTerms =
+            args.full ? 0
+                      : std::min<std::int64_t>(layout.numTerms, 1200);
+        layouts.push_back(layout);
+        instances.push_back(
+            {"SELECT" + std::to_string(width),
+             translate(lowerToCliffordT(makeSelect(params))), 0});
+        // Hybrid ratio: control+temporal registers conventional.
+        hotFractions.push_back(
+            static_cast<double>(layout.controlBits +
+                                layout.temporalBits) /
+            static_cast<double>(layout.totalQubits));
+    }
 
+    bench::Sweep sweep;
+    for (std::int32_t factories : {1, 2, 4}) {
+        for (std::size_t w = 0; w < instances.size(); ++w) {
             ArchConfig conv;
             conv.sam = SamKind::Conventional;
             conv.factories = factories;
-            const double conv_beats =
-                static_cast<double>(bench::run(load, conv).execBeats);
-
-            // Hybrid ratio: control+temporal registers conventional.
-            const double hot_fraction =
-                static_cast<double>(layout.controlBits +
-                                    layout.temporalBits) /
-                static_cast<double>(layout.totalQubits);
-
-            struct Config
-            {
-                const char *label;
-                SamKind sam;
-                std::int32_t banks;
-                double f;
-            };
-            const Config configs[] = {
-                {"point#1", SamKind::Point, 1, 0.0},
-                {"point#2", SamKind::Point, 2, 0.0},
-                {"line#1", SamKind::Line, 1, 0.0},
-                {"line#4", SamKind::Line, 4, 0.0},
-                {"hybrid point#1", SamKind::Point, 1, hot_fraction},
-                {"hybrid point#2", SamKind::Point, 2, hot_fraction},
-                {"hybrid line#1", SamKind::Line, 1, hot_fraction},
-                {"hybrid line#4", SamKind::Line, 4, hot_fraction},
-            };
-            for (const auto &config : configs) {
+            sweep.add(instances[w].name + "/conventional/f" +
+                          std::to_string(factories),
+                      instances[w].program, conv);
+            for (const auto &config : kConfigs) {
                 ArchConfig cfg;
                 cfg.sam = config.sam;
                 cfg.banks = config.banks;
                 cfg.factories = factories;
-                cfg.hybridFraction = config.f;
-                const SimResult r = bench::run(load, cfg);
+                cfg.hybridFraction =
+                    config.hybrid ? hotFractions[w] : 0.0;
+                sweep.add(instances[w].name + "/" + config.label +
+                              "/f" + std::to_string(factories),
+                          instances[w].program, cfg);
+            }
+        }
+    }
+    sweep.run(args.threads);
+
+    for (std::int32_t factories : {1, 2, 4}) {
+        TextTable table({"width", "data qubits", "config", "density",
+                         "exec overhead"});
+        for (std::size_t w = 0; w < instances.size(); ++w) {
+            const double conv_beats =
+                static_cast<double>(sweep.next().execBeats);
+            for (const auto &config : kConfigs) {
+                const SimResult r = sweep.next();
                 table.addRow(
-                    {std::to_string(width),
-                     std::to_string(layout.totalQubits), config.label,
-                     TextTable::num(r.density(), 3),
+                    {std::to_string(widths[w]),
+                     std::to_string(layouts[w].totalQubits),
+                     config.label, TextTable::num(r.density(), 3),
                      TextTable::num(static_cast<double>(r.execBeats) /
                                         conv_beats,
                                     3)});
@@ -100,5 +120,6 @@ main(int argc, char **argv)
                         (factories == 1 ? "y" : "ies"),
                     args, "fig15_f" + std::to_string(factories));
     }
+    sweep.writeJson("fig15", args);
     return 0;
 }

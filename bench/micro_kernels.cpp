@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Chrono-based microbenchmarks for the two hot paths this repo's perf
+ * work tracks: whole simulate() calls per machine kind, and the
+ * statevector amplitude kernels. Emits BENCH_micro.json so successive
+ * runs are machine-comparable (tools/bench_diff.py fails CI on >10%
+ * regressions).
+ *
+ * Usage:
+ *   micro_kernels [--smoke] [--out <dir>] [--csv <dir>]
+ *
+ * --smoke shrinks sizes/reps for CI; timings stay comparable between
+ * two smoke runs (or two full runs), not across modes.
+ */
+
+#include <chrono>
+#include <cstdint>
+
+#include "bench_util.h"
+#include "circuit/statevector.h"
+#include "common/json.h"
+
+namespace lsqca {
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Best-of-@p reps wall time of one call to @p fn. */
+template <typename F>
+double
+bestOf(int reps, F &&fn)
+{
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        const double t0 = now();
+        fn();
+        best = std::min(best, now() - t0);
+    }
+    return best;
+}
+
+struct Entry
+{
+    std::string name;
+    double seconds;      ///< best-of wall time per call
+    double perUnitNs;    ///< ns per instruction / amplitude
+    const char *unit;
+    std::int64_t units;  ///< instructions or amplitudes per call
+};
+
+} // namespace
+} // namespace lsqca
+
+int
+main(int argc, char **argv)
+{
+    using namespace lsqca;
+    const auto args = bench::parseArgs(argc, argv);
+
+    const int simReps = args.smoke ? 2 : 5;
+    const int svReps = args.smoke ? 3 : 7;
+    const std::int32_t adderBits = args.smoke ? 16 : 64;
+    const std::int32_t svQubits = args.smoke ? 14 : 20;
+
+    std::vector<Entry> entries;
+    auto record = [&](std::string name, double seconds, const char *unit,
+                      std::int64_t units) {
+        entries.push_back({std::move(name), seconds,
+                           units > 0 ? seconds * 1e9 /
+                                           static_cast<double>(units)
+                                     : 0.0,
+                           unit, units});
+    };
+
+    // ---- simulate() per machine kind -----------------------------------
+    const Program adder =
+        translate(lowerToCliffordT(makeAdder(adderBits)));
+    {
+        SimOptions opts;
+        opts.arch.sam = SamKind::Conventional;
+        record("simulate/conventional/adder",
+               bestOf(simReps, [&] { simulate(adder, opts); }),
+               "instruction", adder.size());
+    }
+    {
+        SimOptions opts;
+        opts.arch.sam = SamKind::Point;
+        record("simulate/point#1/adder",
+               bestOf(simReps, [&] { simulate(adder, opts); }),
+               "instruction", adder.size());
+    }
+    {
+        SimOptions opts;
+        opts.arch.sam = SamKind::Line;
+        opts.arch.banks = 4;
+        record("simulate/line#4/adder",
+               bestOf(simReps, [&] { simulate(adder, opts); }),
+               "instruction", adder.size());
+    }
+    {
+        SimOptions opts;
+        opts.arch.sam = SamKind::Line;
+        opts.arch.hybridFraction = 0.25;
+        record("simulate/hybrid-line#1/adder",
+               bestOf(simReps, [&] { simulate(adder, opts); }),
+               "instruction", adder.size());
+    }
+
+    // ---- statevector kernels -------------------------------------------
+    const auto amps = std::int64_t{1} << svQubits;
+    {
+        StateVector sv(svQubits);
+        for (std::int32_t q = 0; q < svQubits; ++q)
+            sv.applyH(q); // dense superposition
+        record("statevector/apply1-H",
+               bestOf(svReps, [&] { sv.applyH(svQubits / 2); }),
+               "amplitude", amps);
+        record("statevector/probabilityOne",
+               bestOf(svReps,
+                      [&] { (void)sv.probabilityOne(svQubits / 2); }),
+               "amplitude", amps / 2);
+        record("statevector/applyCX",
+               bestOf(svReps, [&] { sv.applyCX(0, svQubits - 1); }),
+               "amplitude", amps / 4);
+        record("statevector/applyCCX",
+               bestOf(svReps,
+                      [&] { sv.applyCCX(0, 1, svQubits - 1); }),
+               "amplitude", amps / 8);
+        record("statevector/norm",
+               bestOf(svReps, [&] { (void)sv.norm(); }), "amplitude",
+               amps);
+    }
+    {
+        record("statevector/measureZ+collapse",
+               bestOf(svReps,
+                      [&] {
+                          StateVector sv(svQubits);
+                          for (std::int32_t q = 0; q < svQubits; ++q)
+                              sv.applyH(q);
+                          (void)sv.measureZ(0);
+                      }),
+               "amplitude", amps);
+    }
+
+    // ---- report ---------------------------------------------------------
+    TextTable table({"kernel", "best wall (s)", "ns/unit", "unit"});
+    Json jentries = Json::array();
+    for (const auto &entry : entries) {
+        table.addRow({entry.name, TextTable::num(entry.seconds, 6),
+                      TextTable::num(entry.perUnitNs, 2), entry.unit});
+        Json metrics = Json::object();
+        metrics.set("wall_seconds", entry.seconds);
+        metrics.set("ns_per_unit", entry.perUnitNs);
+        metrics.set("units", entry.units);
+        Json jentry = Json::object();
+        jentry.set("name", entry.name);
+        jentry.set("metrics", std::move(metrics));
+        jentries.push(std::move(jentry));
+    }
+    bench::emit(table,
+                std::string("Micro kernels (") +
+                    (args.smoke ? "smoke" : "full") + " mode)",
+                args, "micro_kernels");
+
+    Json doc = Json::object();
+    doc.set("bench", "micro");
+    doc.set("schema", "lsqca-bench-v1");
+    doc.set("mode", args.smoke ? "smoke" : "full");
+    doc.set("entries", std::move(jentries));
+    const std::string path = writeBenchJson("micro", doc, args.outDir);
+    std::cerr << "micro: " << entries.size() << " kernels -> " << path
+              << "\n";
+    return 0;
+}

@@ -1,14 +1,114 @@
 #include "circuit/statevector.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
 #include "common/error.h"
+#include "sweep/thread_pool.h"
 
 namespace lsqca {
 namespace {
 
 constexpr std::complex<double> kI{0.0, 1.0};
+
+/**
+ * Amplitude sweeps at or above this size fan out over the shared
+ * thread pool; smaller states stay on the calling thread (the fork
+ * overhead would dominate). 2^18 amplitudes = 4 MiB of state.
+ */
+constexpr std::uint64_t kParallelAmps = std::uint64_t{1} << 18;
+
+/** Fixed chunk count for parallel sweeps (see parallelSum contract). */
+constexpr int kSweepChunks = 64;
+
+/**
+ * Insert a zero bit at the position of @p bit (a power of two): maps a
+ * compacted index onto the full index space with that bit clear. The
+ * workhorse of every stride-based kernel below — iterating compacted
+ * indices visits exactly the relevant amplitudes with no per-index
+ * branch.
+ */
+inline std::uint64_t
+insertZeroBit(std::uint64_t value, std::uint64_t bit)
+{
+    return ((value & ~(bit - 1)) << 1) | (value & (bit - 1));
+}
+
+/** insertZeroBit over two distinct bit positions. */
+inline std::uint64_t
+insertZeroBits2(std::uint64_t value, std::uint64_t lo, std::uint64_t hi)
+{
+    return insertZeroBit(insertZeroBit(value, lo), hi);
+}
+
+/** Order two bit masks ascending. */
+inline void
+sortBits2(std::uint64_t &a, std::uint64_t &b)
+{
+    if (a > b)
+        std::swap(a, b);
+}
+
+/**
+ * Complex multiply written out in reals. std::complex's operator* calls
+ * the libgcc NaN-recovery routine (__muldc3) per product, which
+ * dominates the amplitude kernels; gate matrices and amplitudes are
+ * always finite, where this form computes the identical value.
+ */
+inline std::complex<double>
+cmul(std::complex<double> x, std::complex<double> y)
+{
+    return {x.real() * y.real() - x.imag() * y.imag(),
+            x.real() * y.imag() + x.imag() * y.real()};
+}
+
+/**
+ * Run kernel(a0, a1) over every (clear, set) amplitude pair of @p bit,
+ * fanning out over the shared pool above the size threshold. The
+ * kernel is a concrete functor type, so each gate shape compiles to
+ * its own specialized loop.
+ */
+template <typename Kernel>
+inline void
+sweepPairs(std::complex<double> *amps, std::uint64_t size,
+           std::uint64_t bit, Kernel kernel)
+{
+    const auto half = static_cast<std::int64_t>(size >> 1);
+    auto chunk = [amps, bit, kernel](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t g = lo; g < hi; ++g) {
+            const std::uint64_t base =
+                insertZeroBit(static_cast<std::uint64_t>(g), bit);
+            kernel(amps[base], amps[base | bit]);
+        }
+    };
+    if (size < kParallelAmps) {
+        chunk(0, half);
+        return;
+    }
+    parallelFor(ThreadPool::shared(), 0, half, kSweepChunks, chunk);
+}
+
+/** As sweepPairs, but visits only the set-bit amplitudes (phase-type
+ *  gates touch half the state). */
+template <typename Kernel>
+inline void
+sweepSetHalf(std::complex<double> *amps, std::uint64_t size,
+             std::uint64_t bit, Kernel kernel)
+{
+    const auto half = static_cast<std::int64_t>(size >> 1);
+    auto chunk = [amps, bit, kernel](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t g = lo; g < hi; ++g)
+            kernel(amps[insertZeroBit(static_cast<std::uint64_t>(g),
+                                      bit) |
+                        bit]);
+    };
+    if (size < kParallelAmps) {
+        chunk(0, half);
+        return;
+    }
+    parallelFor(ThreadPool::shared(), 0, half, kSweepChunks, chunk);
+}
 
 } // namespace
 
@@ -46,21 +146,41 @@ StateVector::probability(std::uint64_t index) const
 double
 StateVector::probabilityOne(QubitId q) const
 {
+    // Visit only the set-bit half of the space: compacted index g maps
+    // to the full index with the qubit bit forced to 1. Half the
+    // iterations of the old full scan, and no per-index branch.
     const std::uint64_t bit = stride(q);
-    double p = 0.0;
-    for (std::uint64_t i = 0; i < amps_.size(); ++i)
-        if (i & bit)
-            p += std::norm(amps_[i]);
-    return p;
+    const auto half = static_cast<std::int64_t>(amps_.size() >> 1);
+    const Amplitude *amps = amps_.data();
+    auto chunk = [amps, bit](std::int64_t lo, std::int64_t hi) {
+        double p = 0.0;
+        for (std::int64_t g = lo; g < hi; ++g)
+            p += std::norm(
+                amps[insertZeroBit(static_cast<std::uint64_t>(g), bit) |
+                     bit]);
+        return p;
+    };
+    if (amps_.size() < kParallelAmps)
+        return chunk(0, half);
+    return parallelSum(ThreadPool::shared(), 0, half, kSweepChunks,
+                       chunk);
 }
 
 double
 StateVector::norm() const
 {
-    double n = 0.0;
-    for (const auto &a : amps_)
-        n += std::norm(a);
-    return n;
+    const Amplitude *amps = amps_.data();
+    auto chunk = [amps](std::int64_t lo, std::int64_t hi) {
+        double n = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i)
+            n += std::norm(amps[i]);
+        return n;
+    };
+    const auto size = static_cast<std::int64_t>(amps_.size());
+    if (amps_.size() < kParallelAmps)
+        return chunk(0, size);
+    return parallelSum(ThreadPool::shared(), 0, size, kSweepChunks,
+                       chunk);
 }
 
 double
@@ -78,15 +198,74 @@ void
 StateVector::apply1(QubitId q, const Amplitude m00, const Amplitude m01,
                     const Amplitude m10, const Amplitude m11)
 {
+    // Compacted index g enumerates the 2^(n-1) amplitude pairs
+    // directly (the old loop walked all 2^n indices and skipped half
+    // with a data-dependent branch), and the matrix shape dispatches
+    // once per call to a kernel specialized for it: every gate in the
+    // Clifford+T set is diagonal, anti-diagonal, or real, and the
+    // general complex fallback never runs in practice.
     const std::uint64_t bit = stride(q);
-    for (std::uint64_t base = 0; base < amps_.size(); ++base) {
-        if (base & bit)
-            continue;
-        const Amplitude a0 = amps_[base];
-        const Amplitude a1 = amps_[base | bit];
-        amps_[base] = m00 * a0 + m01 * a1;
-        amps_[base | bit] = m10 * a0 + m11 * a1;
+    const std::uint64_t size = amps_.size();
+    Amplitude *amps = amps_.data();
+    constexpr Amplitude kZero{0.0, 0.0};
+    constexpr Amplitude kOne{1.0, 0.0};
+
+    if (m01 == kZero && m10 == kZero) {
+        if (m00 == kOne) {
+            // Phase-type (Z/S/T/...): only the set half changes.
+            sweepSetHalf(amps, size, bit,
+                         [m11](Amplitude &a) { a = cmul(m11, a); });
+        } else {
+            sweepPairs(amps, size, bit,
+                       [m00, m11](Amplitude &a0, Amplitude &a1) {
+                           a0 = cmul(m00, a0);
+                           a1 = cmul(m11, a1);
+                       });
+        }
+        return;
     }
+    if (m00 == kZero && m11 == kZero) {
+        if (m01 == kOne && m10 == kOne) {
+            // X: a pure swap, no arithmetic.
+            sweepPairs(amps, size, bit,
+                       [](Amplitude &a0, Amplitude &a1) {
+                           std::swap(a0, a1);
+                       });
+        } else {
+            sweepPairs(amps, size, bit,
+                       [m01, m10](Amplitude &a0, Amplitude &a1) {
+                           const Amplitude t = cmul(m01, a1);
+                           a1 = cmul(m10, a0);
+                           a0 = t;
+                       });
+        }
+        return;
+    }
+    if (m00.imag() == 0.0 && m01.imag() == 0.0 && m10.imag() == 0.0 &&
+        m11.imag() == 0.0) {
+        // Real dense matrix (H): 8 real multiplies per pair.
+        const double r00 = m00.real(), r01 = m01.real();
+        const double r10 = m10.real(), r11 = m11.real();
+        sweepPairs(amps, size, bit,
+                   [r00, r01, r10, r11](Amplitude &a0, Amplitude &a1) {
+                       const Amplitude b0{
+                           r00 * a0.real() + r01 * a1.real(),
+                           r00 * a0.imag() + r01 * a1.imag()};
+                       const Amplitude b1{
+                           r10 * a0.real() + r11 * a1.real(),
+                           r10 * a0.imag() + r11 * a1.imag()};
+                       a0 = b0;
+                       a1 = b1;
+                   });
+        return;
+    }
+    sweepPairs(amps, size, bit,
+               [m00, m01, m10, m11](Amplitude &a0, Amplitude &a1) {
+                   const Amplitude b0 = cmul(m00, a0) + cmul(m01, a1);
+                   const Amplitude b1 = cmul(m10, a0) + cmul(m11, a1);
+                   a0 = b0;
+                   a1 = b1;
+               });
 }
 
 void
@@ -144,9 +323,25 @@ StateVector::applyCX(QubitId control, QubitId target)
     const std::uint64_t cbit = stride(control);
     const std::uint64_t tbit = stride(target);
     LSQCA_REQUIRE(control != target, "cx operands must differ");
-    for (std::uint64_t i = 0; i < amps_.size(); ++i)
-        if ((i & cbit) && !(i & tbit))
-            std::swap(amps_[i], amps_[i | tbit]);
+    // Enumerate only the control=1, target=0 quarter of the space.
+    std::uint64_t lo = cbit, hi = tbit;
+    sortBits2(lo, hi);
+    const auto quarter = static_cast<std::int64_t>(amps_.size() >> 2);
+    Amplitude *amps = amps_.data();
+    auto chunk = [amps, lo, hi, cbit, tbit](std::int64_t a,
+                                            std::int64_t b) {
+        for (std::int64_t g = a; g < b; ++g) {
+            const std::uint64_t i =
+                insertZeroBits2(static_cast<std::uint64_t>(g), lo, hi) |
+                cbit;
+            std::swap(amps[i], amps[i | tbit]);
+        }
+    };
+    if (amps_.size() < kParallelAmps) {
+        chunk(0, quarter);
+        return;
+    }
+    parallelFor(ThreadPool::shared(), 0, quarter, kSweepChunks, chunk);
 }
 
 void
@@ -155,9 +350,24 @@ StateVector::applyCZ(QubitId a, QubitId b)
     const std::uint64_t abit = stride(a);
     const std::uint64_t bbit = stride(b);
     LSQCA_REQUIRE(a != b, "cz operands must differ");
-    for (std::uint64_t i = 0; i < amps_.size(); ++i)
-        if ((i & abit) && (i & bbit))
-            amps_[i] = -amps_[i];
+    std::uint64_t lo = abit, hi = bbit;
+    sortBits2(lo, hi);
+    const auto quarter = static_cast<std::int64_t>(amps_.size() >> 2);
+    Amplitude *amps = amps_.data();
+    auto chunk = [amps, lo, hi, abit, bbit](std::int64_t from,
+                                            std::int64_t to) {
+        for (std::int64_t g = from; g < to; ++g) {
+            const std::uint64_t i =
+                insertZeroBits2(static_cast<std::uint64_t>(g), lo, hi) |
+                abit | bbit;
+            amps[i] = -amps[i];
+        }
+    };
+    if (amps_.size() < kParallelAmps) {
+        chunk(0, quarter);
+        return;
+    }
+    parallelFor(ThreadPool::shared(), 0, quarter, kSweepChunks, chunk);
 }
 
 void
@@ -166,9 +376,24 @@ StateVector::applySwap(QubitId a, QubitId b)
     const std::uint64_t abit = stride(a);
     const std::uint64_t bbit = stride(b);
     LSQCA_REQUIRE(a != b, "swap operands must differ");
-    for (std::uint64_t i = 0; i < amps_.size(); ++i)
-        if ((i & abit) && !(i & bbit))
-            std::swap(amps_[i], amps_[(i & ~abit) | bbit]);
+    std::uint64_t lo = abit, hi = bbit;
+    sortBits2(lo, hi);
+    const auto quarter = static_cast<std::int64_t>(amps_.size() >> 2);
+    Amplitude *amps = amps_.data();
+    auto chunk = [amps, lo, hi, abit, bbit](std::int64_t from,
+                                            std::int64_t to) {
+        for (std::int64_t g = from; g < to; ++g) {
+            const std::uint64_t i =
+                insertZeroBits2(static_cast<std::uint64_t>(g), lo, hi) |
+                abit;
+            std::swap(amps[i], amps[(i & ~abit) | bbit]);
+        }
+    };
+    if (amps_.size() < kParallelAmps) {
+        chunk(0, quarter);
+        return;
+    }
+    parallelFor(ThreadPool::shared(), 0, quarter, kSweepChunks, chunk);
 }
 
 void
@@ -179,9 +404,31 @@ StateVector::applyCCX(QubitId c0, QubitId c1, QubitId target)
     const std::uint64_t tbit = stride(target);
     LSQCA_REQUIRE(c0 != c1 && c0 != target && c1 != target,
                   "ccx operands must differ");
-    for (std::uint64_t i = 0; i < amps_.size(); ++i)
-        if ((i & b0) && (i & b1) && !(i & tbit))
-            std::swap(amps_[i], amps_[i | tbit]);
+    // Enumerate only the c0=1, c1=1, target=0 eighth of the space: the
+    // compacted index expands over the three operand bits (ascending),
+    // then the control bits are forced on.
+    std::uint64_t bits[3] = {b0, b1, tbit};
+    std::sort(bits, bits + 3);
+    const auto eighth = static_cast<std::int64_t>(amps_.size() >> 3);
+    Amplitude *amps = amps_.data();
+    const std::uint64_t lo = bits[0], mid = bits[1], hi = bits[2];
+    auto chunk = [amps, lo, mid, hi, b0, b1, tbit](std::int64_t from,
+                                                   std::int64_t to) {
+        for (std::int64_t g = from; g < to; ++g) {
+            const std::uint64_t i =
+                insertZeroBit(
+                    insertZeroBits2(static_cast<std::uint64_t>(g), lo,
+                                    mid),
+                    hi) |
+                b0 | b1;
+            std::swap(amps[i], amps[i | tbit]);
+        }
+    };
+    if (amps_.size() < kParallelAmps) {
+        chunk(0, eighth);
+        return;
+    }
+    parallelFor(ThreadPool::shared(), 0, eighth, kSweepChunks, chunk);
 }
 
 bool
@@ -193,12 +440,26 @@ StateVector::measureZ(QubitId q)
     const double keep = outcome ? p1 : 1.0 - p1;
     LSQCA_ASSERT(keep > 1e-12, "measurement of an impossible outcome");
     const double scale = 1.0 / std::sqrt(keep);
-    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
-        const bool is_one = (i & bit) != 0;
-        if (is_one == outcome)
-            amps_[i] *= scale;
-        else
-            amps_[i] = {0.0, 0.0};
+    // Collapse without a per-index branch: for each amplitude pair, the
+    // kept side scales and the other zeroes; which is which is decided
+    // once from the outcome.
+    const std::uint64_t keepSide = outcome ? bit : 0;
+    const std::uint64_t dropSide = outcome ? 0 : bit;
+    const auto half = static_cast<std::int64_t>(amps_.size() >> 1);
+    Amplitude *amps = amps_.data();
+    auto chunk = [amps, bit, keepSide, dropSide,
+                  scale](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t g = lo; g < hi; ++g) {
+            const std::uint64_t base =
+                insertZeroBit(static_cast<std::uint64_t>(g), bit);
+            amps[base | keepSide] *= scale;
+            amps[base | dropSide] = {0.0, 0.0};
+        }
+    };
+    if (amps_.size() < kParallelAmps) {
+        chunk(0, half);
+    } else {
+        parallelFor(ThreadPool::shared(), 0, half, kSweepChunks, chunk);
     }
     return outcome;
 }

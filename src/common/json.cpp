@@ -1,0 +1,175 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace lsqca {
+namespace {
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendDouble(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null"; // JSON has no Inf/NaN
+        return;
+    }
+    char buf[32];
+    const auto res =
+        std::to_chars(buf, buf + sizeof buf, v,
+                      std::chars_format::general, 17);
+    out.append(buf, res.ptr);
+}
+
+} // namespace
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+Json::Json(const char *s) : kind_(Kind::String), str_(s) {}
+Json::Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+Json::Json(double v) : kind_(Kind::Double), dbl_(v) {}
+Json::Json(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+Json::Json(std::int32_t v) : kind_(Kind::Int), int_(v) {}
+Json::Json(bool v) : kind_(Kind::Bool), bool_(v) {}
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    LSQCA_REQUIRE(kind_ == Kind::Object, "Json::set on a non-object");
+    for (auto &member : members_) {
+        if (member.first == key) {
+            member.second = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+Json &
+Json::push(Json value)
+{
+    LSQCA_REQUIRE(kind_ == Kind::Array, "Json::push on a non-array");
+    items_.push_back(std::move(value));
+    return *this;
+}
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    const auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+    switch (kind_) {
+      case Kind::Null: out += "null"; break;
+      case Kind::String: appendEscaped(out, str_); break;
+      case Kind::Double: appendDouble(out, dbl_); break;
+      case Kind::Int: out += std::to_string(int_); break;
+      case Kind::Bool: out += bool_ ? "true" : "false"; break;
+      case Kind::Object: {
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            newline(depth + 1);
+            appendEscaped(out, members_[i].first);
+            out += indent > 0 ? ": " : ":";
+            members_[i].second.dumpTo(out, indent, depth + 1);
+            if (i + 1 < members_.size())
+                out += ',';
+        }
+        newline(depth);
+        out += '}';
+        break;
+      }
+      case Kind::Array: {
+        if (items_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            newline(depth + 1);
+            items_[i].dumpTo(out, indent, depth + 1);
+            if (i + 1 < items_.size())
+                out += ',';
+        }
+        newline(depth);
+        out += ']';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+void
+Json::write(const std::string &path, int indent) const
+{
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    std::ofstream file(path);
+    LSQCA_REQUIRE(file.good(), "cannot open for writing: " + path);
+    file << dump(indent);
+    LSQCA_REQUIRE(file.good(), "write failed: " + path);
+}
+
+} // namespace lsqca

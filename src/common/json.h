@@ -1,0 +1,77 @@
+#ifndef LSQCA_COMMON_JSON_H
+#define LSQCA_COMMON_JSON_H
+
+/**
+ * @file
+ * Minimal ordered JSON document builder for machine-readable bench
+ * output (`bench/out/BENCH_*.json`). Insertion order of object keys is
+ * preserved so diffs between runs stay line-stable; numbers are emitted
+ * with enough precision to round-trip doubles.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lsqca {
+
+/** An ordered JSON value (object, array, string, number, bool, null). */
+class Json
+{
+  public:
+    /** Null by default. */
+    Json() = default;
+
+    static Json object();
+    static Json array();
+
+    Json(const char *s);
+    Json(std::string s);
+    Json(double v);
+    Json(std::int64_t v);
+    Json(std::int32_t v);
+    Json(bool v);
+
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /** Set @p key on an object (insertion order preserved). */
+    Json &set(const std::string &key, Json value);
+
+    /** Append to an array. */
+    Json &push(Json value);
+
+    /** Serialized document; @p indent = 0 gives compact output. */
+    std::string dump(int indent = 2) const;
+
+    /** dump() to @p path, creating parent directories as needed. */
+    void write(const std::string &path, int indent = 2) const;
+
+  private:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Object,
+        Array,
+        String,
+        Double,
+        Int,
+        Bool,
+    };
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    std::string str_;
+    double dbl_ = 0.0;
+    std::int64_t int_ = 0;
+    bool bool_ = false;
+    std::vector<std::pair<std::string, Json>> members_;
+    std::vector<Json> items_;
+};
+
+} // namespace lsqca
+
+#endif // LSQCA_COMMON_JSON_H

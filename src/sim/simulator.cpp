@@ -4,6 +4,7 @@
 #include <memory>
 #include <numeric>
 #include <tuple>
+#include <type_traits>
 #include <vector>
 
 #include "arch/line_sam.h"
@@ -20,9 +21,20 @@ enum class Region : std::uint8_t { Sam, Conventional };
 /**
  * The machine: bank state + resource timelines + in-order dataflow
  * issue. One instance per simulate() call.
+ *
+ * Templated on the floorplan kind so the per-instruction bank dispatch
+ * (point vs line vs conventional) resolves at compile time: the hot
+ * loop runs with no `cfg_.sam` branches, one concrete bank type, and
+ * the conventional machine compiles to the pure-timeline fast path.
  */
+template <SamKind KIND>
 class Machine
 {
+    /** Concrete bank model for this specialization (unused for the
+     *  conventional machine, where no variable is SAM-resident). */
+    using Bank = std::conditional_t<KIND == SamKind::Line, LineSamBank,
+                                    PointSamBank>;
+
   public:
     Machine(const Program &prog, const SimOptions &opts)
         : prog_(prog), opts_(opts), cfg_(opts.arch),
@@ -31,6 +43,7 @@ class Machine
                  cfg_.warmBuffer, cfg_.instantMagic)
     {
         cfg_.validate();
+        LSQCA_ASSERT(cfg_.sam == KIND, "machine/config kind mismatch");
         setupRegions();
         setupBanks();
         varReady_.assign(static_cast<std::size_t>(prog.numVariables()), 0);
@@ -51,16 +64,22 @@ class Machine
         std::int64_t limit = prog_.size();
         if (opts_.maxInstructions > 0)
             limit = std::min(limit, opts_.maxInstructions);
+        const Instruction *code = prog_.instructions().data();
+        const bool trace = opts_.recordTrace;
         for (std::int64_t i = 0; i < limit; ++i) {
-            const Instruction &inst =
-                prog_.instructions()[static_cast<std::size_t>(i)];
+            const Instruction &inst = code[i];
             const Step step = execute(inst);
             const auto op_idx = static_cast<std::size_t>(inst.op);
             ++result.opcodeCount[op_idx];
             result.opcodeBeats[op_idx] += step.end - step.start;
             result.memoryBeats += step.memoryBeats;
             result.execBeats = std::max(result.execBeats, step.end);
-            if (opts_.recordTrace) {
+            // Counted in the same pass (was a second sweep over the
+            // program): every non-LD/ST instruction enters the CPI
+            // denominator.
+            result.countedInstructions +=
+                inst.op != Opcode::LD && inst.op != Opcode::ST;
+            if (trace) {
                 const OpcodeInfo &info = opcodeInfo(inst.op);
                 if (info.numMem >= 1)
                     result.trace.push_back({step.start, inst.m0});
@@ -73,12 +92,6 @@ class Machine
             }
         }
         result.instructionsSimulated = limit;
-        for (std::int64_t i = 0; i < limit; ++i) {
-            const Opcode op =
-                prog_.instructions()[static_cast<std::size_t>(i)].op;
-            if (op != Opcode::LD && op != Opcode::ST)
-                ++result.countedInstructions;
-        }
         result.cpi = result.countedInstructions == 0
                          ? 0.0
                          : static_cast<double>(result.execBeats) /
@@ -106,7 +119,7 @@ class Machine
         const auto n = static_cast<std::size_t>(prog_.numVariables());
         region_.assign(n, Region::Sam);
         bankOf_.assign(n, -1);
-        if (cfg_.sam == SamKind::Conventional) {
+        if constexpr (KIND == SamKind::Conventional) {
             region_.assign(n, Region::Conventional);
             numConventional_ = static_cast<std::int64_t>(n);
             return;
@@ -165,7 +178,7 @@ class Machine
     void
     setupBanks()
     {
-        if (cfg_.sam == SamKind::Conventional)
+        if constexpr (KIND == SamKind::Conventional)
             return;
         // Deal SAM-resident variables round-robin over the banks
         // ("distributed sequentially to all the banks in order").
@@ -184,22 +197,14 @@ class Machine
         }
         for (auto &vars : dealt)
             vars = placementOrder(std::move(vars));
-        pointBanks_.resize(static_cast<std::size_t>(cfg_.banks));
-        lineBanks_.resize(static_cast<std::size_t>(cfg_.banks));
+        banks_.resize(static_cast<std::size_t>(cfg_.banks));
         for (std::size_t b = 0; b < dealt.size(); ++b) {
             if (dealt[b].empty())
                 continue;
             const auto cap =
                 static_cast<std::int32_t>(dealt[b].size());
-            if (cfg_.sam == SamKind::Point) {
-                pointBanks_[b] =
-                    std::make_unique<PointSamBank>(cap, cfg_.lat);
-                pointBanks_[b]->placeInitial(dealt[b]);
-            } else {
-                lineBanks_[b] =
-                    std::make_unique<LineSamBank>(cap, cfg_.lat);
-                lineBanks_[b]->placeInitial(dealt[b]);
-            }
+            banks_[b] = std::make_unique<Bank>(cap, cfg_.lat);
+            banks_[b]->placeInitial(dealt[b]);
         }
     }
 
@@ -208,6 +213,8 @@ class Machine
     bool
     isConv(std::int32_t m) const
     {
+        if constexpr (KIND == SamKind::Conventional)
+            return true;
         return region_[static_cast<std::size_t>(m)] ==
                Region::Conventional;
     }
@@ -220,80 +227,72 @@ class Machine
         return b;
     }
 
+    Bank &
+    bank(std::int32_t m) const
+    {
+        return *banks_[static_cast<std::size_t>(bankOf(m))];
+    }
+
     std::int64_t
     loadCost(std::int32_t m) const
     {
-        const auto b = static_cast<std::size_t>(bankOf(m));
-        return cfg_.sam == SamKind::Point ? pointBanks_[b]->loadCost(m)
-                                          : lineBanks_[b]->loadCost(m);
+        return bank(m).loadCost(m);
     }
 
     void
     commitLoad(std::int32_t m)
     {
-        const auto b = static_cast<std::size_t>(bankOf(m));
-        if (cfg_.sam == SamKind::Point)
-            pointBanks_[b]->commitLoad(m);
-        else
-            lineBanks_[b]->commitLoad(m);
+        bank(m).commitLoad(m);
     }
 
     std::int64_t
     storeCost(std::int32_t m) const
     {
-        const auto b = static_cast<std::size_t>(bankOf(m));
-        return cfg_.sam == SamKind::Point
-                   ? pointBanks_[b]->storeCost(m, cfg_.localityStore)
-                   : lineBanks_[b]->storeCost(m, cfg_.localityStore);
+        return bank(m).storeCost(m, cfg_.localityStore);
     }
 
     void
     commitStore(std::int32_t m)
     {
-        const auto b = static_cast<std::size_t>(bankOf(m));
-        if (cfg_.sam == SamKind::Point)
-            pointBanks_[b]->commitStore(m, cfg_.localityStore);
-        else
-            lineBanks_[b]->commitStore(m, cfg_.localityStore);
+        bank(m).commitStore(m, cfg_.localityStore);
     }
 
     /** Scan/gap travel for an in-memory single-qubit op. */
     std::int64_t
     inMem1qCost(std::int32_t m) const
     {
-        const auto b = static_cast<std::size_t>(bankOf(m));
-        return cfg_.sam == SamKind::Point ? pointBanks_[b]->seekCost(m)
-                                          : lineBanks_[b]->alignCost(m);
+        if constexpr (KIND == SamKind::Line)
+            return bank(m).alignCost(m);
+        else
+            return bank(m).seekCost(m);
     }
 
     void
     commitInMem1q(std::int32_t m)
     {
-        const auto b = static_cast<std::size_t>(bankOf(m));
-        if (cfg_.sam == SamKind::Point)
-            pointBanks_[b]->commitSeek(m);
+        if constexpr (KIND == SamKind::Line)
+            bank(m).commitAlign(m);
         else
-            lineBanks_[b]->commitAlign(m);
+            bank(m).commitSeek(m);
     }
 
     /** Positioning for an in-memory two-qubit op against the CR/port. */
     std::int64_t
     inMem2qCost(std::int32_t m) const
     {
-        const auto b = static_cast<std::size_t>(bankOf(m));
-        return cfg_.sam == SamKind::Point
-                   ? pointBanks_[b]->fetchToPortCost(m)
-                   : lineBanks_[b]->alignCost(m);
+        if constexpr (KIND == SamKind::Line)
+            return bank(m).alignCost(m);
+        else
+            return bank(m).fetchToPortCost(m);
     }
 
     void
     commitInMem2q(std::int32_t m)
     {
-        const auto b = static_cast<std::size_t>(bankOf(m));
-        if (cfg_.sam == SamKind::Point)
-            pointBanks_[b]->commitFetchToPort(m);
+        if constexpr (KIND == SamKind::Line)
+            bank(m).commitAlign(m);
         else
-            lineBanks_[b]->commitAlign(m);
+            bank(m).commitFetchToPort(m);
     }
 
     // ---- issue helpers --------------------------------------------------
@@ -482,17 +481,19 @@ class Machine
 
         // Row-parallel unitaries (Sec. V-C): a second H/S whose target
         // shares the currently-open gap-row window executes in the same
-        // window for free.
-        if (cfg_.rowParallelOps && cfg_.inMemoryOps &&
-            cfg_.sam == SamKind::Line && barrier_ == 0 &&
-            rowBatch_.valid && rowBatch_.op == inst.op &&
-            rowBatch_.bank == bankOf(inst.m0)) {
-            const auto b = static_cast<std::size_t>(bankOf(inst.m0));
-            const std::int32_t row =
-                lineBanks_[b]->positionOf(inst.m0).row;
-            if (row == rowBatch_.row && var <= rowBatch_.start) {
-                var = rowBatch_.end;
-                return {rowBatch_.start, rowBatch_.end, 0};
+        // window for free. Line SAM only — the branch vanishes from the
+        // point/conventional instantiations.
+        if constexpr (KIND == SamKind::Line) {
+            if (cfg_.rowParallelOps && cfg_.inMemoryOps &&
+                barrier_ == 0 && rowBatch_.valid &&
+                rowBatch_.op == inst.op &&
+                rowBatch_.bank == bankOf(inst.m0)) {
+                const std::int32_t row =
+                    bank(inst.m0).positionOf(inst.m0).row;
+                if (row == rowBatch_.row && var <= rowBatch_.start) {
+                    var = rowBatch_.end;
+                    return {rowBatch_.start, rowBatch_.end, 0};
+                }
             }
         }
 
@@ -510,12 +511,12 @@ class Machine
         }
         const std::int64_t end = start + motion + beats;
         var = scan = end;
-        if (cfg_.rowParallelOps && cfg_.inMemoryOps &&
-            cfg_.sam == SamKind::Line) {
-            const auto b = static_cast<std::size_t>(bankOf(inst.m0));
-            rowBatch_ = {true, inst.op, bankOf(inst.m0),
-                         lineBanks_[b]->positionOf(inst.m0).row,
-                         start + motion, end};
+        if constexpr (KIND == SamKind::Line) {
+            if (cfg_.rowParallelOps && cfg_.inMemoryOps) {
+                rowBatch_ = {true, inst.op, bankOf(inst.m0),
+                             bank(inst.m0).positionOf(inst.m0).row,
+                             start + motion, end};
+            }
         }
         return {start, end, motion};
     }
@@ -553,8 +554,10 @@ class Machine
             // is free to serve other requests during the magic wait;
             // line SAM must keep the gap row aligned (it is the merge
             // path) until the surgery completes.
-            scan = cfg_.sam == SamKind::Point ? motion_start + motion
-                                              : end;
+            if constexpr (KIND == SamKind::Point)
+                scan = motion_start + motion;
+            else
+                scan = end;
             valReady_[static_cast<std::size_t>(inst.v0)] = end;
             return {motion_start, end, motion};
         }
@@ -648,18 +651,7 @@ class Machine
         }
 
         if (same_bank) {
-            const auto b = static_cast<std::size_t>(bankOf(inst.m0));
-            const bool direct =
-                cfg_.directSurgery && cfg_.sam == SamKind::Line &&
-                lineBanks_[b]->canDirectSurgery(inst.m0, inst.m1);
-            if (direct) {
-                // Extension: lattice surgery straight between two data
-                // cells sharing a line; only the gap repositions.
-                motion = lineBanks_[b]->directSurgeryCost(inst.m0,
-                                                          inst.m1);
-                lineBanks_[b]->commitDirectSurgery(inst.m0, inst.m1);
-                end = start + motion + surgery2;
-            } else if (cfg_.sam == SamKind::Point) {
+            if constexpr (KIND != SamKind::Line) {
                 // Drag both operands to the port region (they stay in
                 // memory; locality makes later touches cheap). The
                 // port-side surgery itself does not occupy the scan.
@@ -672,22 +664,39 @@ class Machine
                 var0 = var1 = end;
                 return {start, end, motion};
             } else {
-                // Sec. VI-A translation rule: load the cheaper operand
-                // into the CR, touch the other in memory, and store the
-                // loaded one back — the locality-aware store drops it
-                // into the partner's line (Sec. V-B pairing).
-                const bool load0 =
-                    loadCost(inst.m0) <= loadCost(inst.m1);
-                const std::int32_t loaded = load0 ? inst.m0 : inst.m1;
-                const std::int32_t in_mem = load0 ? inst.m1 : inst.m0;
-                const std::int64_t ld = loadCost(loaded);
-                commitLoad(loaded);
-                const std::int64_t pos = inMem2qCost(in_mem);
-                commitInMem2q(in_mem);
-                const std::int64_t st = storeCost(loaded);
-                commitStore(loaded);
-                motion = ld + pos + st;
-                end = start + motion + surgery2;
+                Bank &b = bank(inst.m0);
+                if (cfg_.directSurgery &&
+                    b.canDirectSurgery(inst.m0, inst.m1)) {
+                    // Extension: lattice surgery straight between two
+                    // data cells sharing a line; only the gap
+                    // repositions.
+                    motion = b.directSurgeryCost(inst.m0, inst.m1);
+                    b.commitDirectSurgery(inst.m0, inst.m1);
+                    end = start + motion + surgery2;
+                } else {
+                    // Sec. VI-A translation rule: load the cheaper
+                    // operand into the CR, touch the other in memory,
+                    // and store the loaded one back — the
+                    // locality-aware store drops it into the partner's
+                    // line (Sec. V-B pairing). Each operand's load cost
+                    // is computed once and reused for both the
+                    // comparison and the commit path.
+                    const std::int64_t ld0 = loadCost(inst.m0);
+                    const std::int64_t ld1 = loadCost(inst.m1);
+                    const bool load0 = ld0 <= ld1;
+                    const std::int32_t loaded =
+                        load0 ? inst.m0 : inst.m1;
+                    const std::int32_t in_mem =
+                        load0 ? inst.m1 : inst.m0;
+                    const std::int64_t ld = load0 ? ld0 : ld1;
+                    commitLoad(loaded);
+                    const std::int64_t pos = inMem2qCost(in_mem);
+                    commitInMem2q(in_mem);
+                    const std::int64_t st = storeCost(loaded);
+                    commitStore(loaded);
+                    motion = ld + pos + st;
+                    end = start + motion + surgery2;
+                }
             }
             scan0 = end;
         } else {
@@ -700,7 +709,7 @@ class Machine
             commitInMem2q(inst.m1);
             motion = pos0 + pos1;
             end = start + std::max(pos0, pos1) + surgery2;
-            if (cfg_.sam == SamKind::Point) {
+            if constexpr (KIND == SamKind::Point) {
                 scan0 = start + pos0;
                 scan1 = start + pos1;
             } else {
@@ -720,8 +729,7 @@ class Machine
     std::vector<Region> region_;
     std::vector<std::int32_t> bankOf_;
     std::int64_t numConventional_ = 0;
-    std::vector<std::unique_ptr<PointSamBank>> pointBanks_;
-    std::vector<std::unique_ptr<LineSamBank>> lineBanks_;
+    std::vector<std::unique_ptr<Bank>> banks_;
 
     /** An open row-parallel unitary window (line SAM, Sec. V-C). */
     struct RowBatch
@@ -747,8 +755,15 @@ class Machine
 SimResult
 simulate(const Program &program, const SimOptions &options)
 {
-    Machine machine(program, options);
-    return machine.run();
+    switch (options.arch.sam) {
+      case SamKind::Point:
+        return Machine<SamKind::Point>(program, options).run();
+      case SamKind::Line:
+        return Machine<SamKind::Line>(program, options).run();
+      case SamKind::Conventional:
+        return Machine<SamKind::Conventional>(program, options).run();
+    }
+    throw InternalError("unhandled SAM kind");
 }
 
 SimResult

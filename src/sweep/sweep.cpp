@@ -1,0 +1,136 @@
+#include "sweep/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/error.h"
+#include "sweep/thread_pool.h"
+
+namespace lsqca {
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+SweepEngine::SweepEngine(SweepOptions options)
+    : threads_(options.threads > 0
+                   ? options.threads
+                   : static_cast<std::int32_t>(std::max(
+                         1u, std::thread::hardware_concurrency())))
+{
+}
+
+SweepReport
+SweepEngine::run(const std::vector<SweepJob> &jobs) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    SweepReport report;
+    report.threads = threads_;
+    report.results.resize(jobs.size());
+    report.jobSeconds.assign(jobs.size(), 0.0);
+    for (const auto &job : jobs)
+        LSQCA_REQUIRE(job.program != nullptr,
+                      "sweep job '" + job.name + "' has no program");
+
+    // Workers pull the next job index from a shared counter: cheap
+    // dynamic load balancing (job costs vary by orders of magnitude)
+    // while each result lands in its submission slot, keeping the
+    // output order — and therefore every downstream table — identical
+    // to the serial loop.
+    auto runJob = [&](std::size_t index) {
+        const auto j0 = std::chrono::steady_clock::now();
+        report.results[index] =
+            simulate(*jobs[index].program, jobs[index].options);
+        report.jobSeconds[index] = secondsSince(j0);
+    };
+
+    if (threads_ <= 1 || jobs.size() <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            runJob(i);
+        report.wallSeconds = secondsSince(t0);
+        return report;
+    }
+
+    ThreadPool pool(static_cast<std::size_t>(
+        std::min<std::int64_t>(threads_,
+                               static_cast<std::int64_t>(jobs.size()))));
+    std::atomic<std::size_t> next{0};
+    std::vector<std::future<void>> drained;
+    drained.reserve(pool.size());
+    for (std::size_t w = 0; w < pool.size(); ++w) {
+        drained.push_back(pool.submit([&] {
+            for (;;) {
+                const std::size_t index =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (index >= jobs.size())
+                    return;
+                runJob(index);
+            }
+        }));
+    }
+    // get() rethrows the first worker exception after all settle.
+    std::exception_ptr failure;
+    for (auto &f : drained) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!failure)
+                failure = std::current_exception();
+        }
+    }
+    if (failure)
+        std::rethrow_exception(failure);
+    report.wallSeconds = secondsSince(t0);
+    return report;
+}
+
+Json
+benchReport(const std::string &benchName,
+            const std::vector<SweepJob> &jobs, const SweepReport &report)
+{
+    LSQCA_REQUIRE(jobs.size() == report.results.size(),
+                  "job/result arity mismatch");
+    Json doc = Json::object();
+    doc.set("bench", benchName);
+    doc.set("schema", "lsqca-bench-v1");
+    doc.set("threads", report.threads);
+    doc.set("jobs", static_cast<std::int64_t>(jobs.size()));
+    doc.set("wall_seconds", report.wallSeconds);
+    Json entries = Json::array();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const SimResult &r = report.results[i];
+        Json metrics = Json::object();
+        metrics.set("cpi", r.cpi);
+        metrics.set("exec_beats", r.execBeats);
+        metrics.set("memory_beats", r.memoryBeats);
+        metrics.set("magic_stall_beats", r.magicStallBeats);
+        metrics.set("density", r.density());
+        metrics.set("wall_seconds", report.jobSeconds[i]);
+        Json entry = Json::object();
+        entry.set("name", jobs[i].name);
+        entry.set("metrics", std::move(metrics));
+        entries.push(std::move(entry));
+    }
+    doc.set("entries", std::move(entries));
+    return doc;
+}
+
+std::string
+writeBenchJson(const std::string &benchName, const Json &doc,
+               const std::string &outDir)
+{
+    const std::string path = outDir + "/BENCH_" + benchName + ".json";
+    doc.write(path);
+    return path;
+}
+
+} // namespace lsqca

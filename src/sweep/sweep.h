@@ -1,0 +1,89 @@
+#ifndef LSQCA_SWEEP_SWEEP_H
+#define LSQCA_SWEEP_SWEEP_H
+
+/**
+ * @file
+ * Parallel configuration-sweep engine.
+ *
+ * The paper's headline figures sweep many (program, architecture)
+ * points; each simulate() call is independent, so the engine fans a job
+ * vector across a fixed thread pool and collects results *in
+ * submission order* — a parallel sweep is bit-identical to the serial
+ * loop it replaces, regardless of worker count. A JSON report
+ * (`bench/out/BENCH_<name>.json`) records per-job metrics plus
+ * wall-clock so regressions are machine-checkable (tools/bench_diff.py).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "isa/program.h"
+#include "sim/simulator.h"
+
+namespace lsqca {
+
+/** One sweep point: a program run under one machine configuration. */
+struct SweepJob
+{
+    /** Stable identifier, e.g. "adder/point#1/f2" (JSON entry key). */
+    std::string name;
+    /** Borrowed; must outlive the SweepEngine::run call. */
+    const Program *program = nullptr;
+    SimOptions options;
+};
+
+/** Outcome of a sweep: results aligned with the submitted job vector. */
+struct SweepReport
+{
+    std::vector<SimResult> results;  ///< submission order
+    std::vector<double> jobSeconds;  ///< per-job wall time
+    double wallSeconds = 0.0;        ///< whole-sweep wall time
+    std::int32_t threads = 1;        ///< workers actually used
+};
+
+/** Engine options. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = hardware_concurrency. */
+    std::int32_t threads = 0;
+};
+
+/** Fans simulate() jobs across a fixed thread pool. */
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(SweepOptions options = {});
+
+    /**
+     * Run every job and return results in submission order. Exceptions
+     * from any job propagate to the caller after all workers settle.
+     */
+    SweepReport run(const std::vector<SweepJob> &jobs) const;
+
+    std::int32_t threads() const { return threads_; }
+
+  private:
+    std::int32_t threads_;
+};
+
+/**
+ * Build the standard BENCH JSON document for a sweep: one entry per
+ * job with cpi / exec_beats / memory_beats / magic_stall_beats /
+ * density / wall_seconds metrics.
+ */
+Json benchReport(const std::string &benchName,
+                 const std::vector<SweepJob> &jobs,
+                 const SweepReport &report);
+
+/**
+ * Write @p doc to `<outDir>/BENCH_<benchName>.json` and return the
+ * path. @p outDir defaults to "bench/out" under the current directory.
+ */
+std::string writeBenchJson(const std::string &benchName, const Json &doc,
+                           const std::string &outDir = "bench/out");
+
+} // namespace lsqca
+
+#endif // LSQCA_SWEEP_SWEEP_H

@@ -1,0 +1,148 @@
+#include "sweep/thread_pool.h"
+
+#include <algorithm>
+
+namespace lsqca {
+namespace {
+
+thread_local bool t_insideWorker = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t count = std::max<std::size_t>(1, threads);
+    workers_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    ready_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_insideWorker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            ready_.wait(lock,
+                        [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // packaged_task captures any exception into the future
+    }
+}
+
+bool
+ThreadPool::insideWorker()
+{
+    return t_insideWorker;
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool(
+        std::max(1u, std::thread::hardware_concurrency()));
+    return pool;
+}
+
+void
+parallelFor(ThreadPool &pool, std::int64_t begin, std::int64_t end,
+            int chunks,
+            const std::function<void(std::int64_t, std::int64_t)> &body)
+{
+    if (begin >= end)
+        return;
+    const std::int64_t span = end - begin;
+    const std::int64_t parts =
+        std::clamp<std::int64_t>(chunks, 1, span);
+    if (parts == 1 || pool.size() <= 1 || ThreadPool::insideWorker()) {
+        body(begin, end);
+        return;
+    }
+    std::vector<std::future<void>> pending;
+    pending.reserve(static_cast<std::size_t>(parts));
+    for (std::int64_t c = 0; c < parts; ++c) {
+        const std::int64_t lo = begin + span * c / parts;
+        const std::int64_t hi = begin + span * (c + 1) / parts;
+        pending.push_back(pool.submit([&body, lo, hi] { body(lo, hi); }));
+    }
+    // Wait for EVERY chunk before letting an exception unwind: queued
+    // tasks hold references to `body` (and the caller's data), so an
+    // early rethrow would leave them running against destroyed state.
+    std::exception_ptr failure;
+    for (auto &f : pending) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!failure)
+                failure = std::current_exception();
+        }
+    }
+    if (failure)
+        std::rethrow_exception(failure);
+}
+
+double
+parallelSum(ThreadPool &pool, std::int64_t begin, std::int64_t end,
+            int chunks,
+            const std::function<double(std::int64_t, std::int64_t)> &body)
+{
+    if (begin >= end)
+        return 0.0;
+    const std::int64_t span = end - begin;
+    const std::int64_t parts =
+        std::clamp<std::int64_t>(chunks, 1, span);
+    // The per-chunk partials are combined in chunk-index order on BOTH
+    // paths, so the floating-point result depends only on (begin, end,
+    // chunks) — never on the worker count or pool availability.
+    if (parts == 1 || pool.size() <= 1 || ThreadPool::insideWorker()) {
+        double total = 0.0;
+        for (std::int64_t c = 0; c < parts; ++c) {
+            const std::int64_t lo = begin + span * c / parts;
+            const std::int64_t hi = begin + span * (c + 1) / parts;
+            total += body(lo, hi);
+        }
+        return total;
+    }
+    std::vector<std::future<double>> pending;
+    pending.reserve(static_cast<std::size_t>(parts));
+    for (std::int64_t c = 0; c < parts; ++c) {
+        const std::int64_t lo = begin + span * c / parts;
+        const std::int64_t hi = begin + span * (c + 1) / parts;
+        pending.push_back(
+            pool.submit([&body, lo, hi] { return body(lo, hi); }));
+    }
+    // As in parallelFor: settle every chunk before rethrowing so no
+    // queued task outlives the referenced `body`.
+    double total = 0.0;
+    std::exception_ptr failure;
+    for (auto &f : pending) { // chunk-index order: deterministic
+        try {
+            total += f.get();
+        } catch (...) {
+            if (!failure)
+                failure = std::current_exception();
+        }
+    }
+    if (failure)
+        std::rethrow_exception(failure);
+    return total;
+}
+
+} // namespace lsqca

@@ -1,0 +1,114 @@
+#ifndef LSQCA_SWEEP_THREAD_POOL_H
+#define LSQCA_SWEEP_THREAD_POOL_H
+
+/**
+ * @file
+ * Fixed-size thread pool for the sweep engine and the parallel
+ * statevector kernels.
+ *
+ * Design notes:
+ *  - No work stealing: one FIFO queue under one mutex. Sweep jobs are
+ *    coarse (whole simulate() calls) and kernel chunks are large, so
+ *    queue contention is negligible and FIFO keeps completion order
+ *    close to submission order.
+ *  - submit() returns a std::future; exceptions thrown by a task are
+ *    captured and rethrown from future::get(), never lost.
+ *  - parallelFor() partitions an index range into a *fixed* number of
+ *    chunks independent of the worker count, so any floating-point
+ *    reduction built on it is bit-identical across 1/2/N-thread runs.
+ *  - Pool workers that re-enter parallelFor() run the loop inline
+ *    (never blocking on their own queue), making nested use safe.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace lsqca {
+
+/** Fixed worker-count FIFO thread pool. */
+class ThreadPool
+{
+  public:
+    /** Spin up @p threads workers (minimum 1). */
+    explicit ThreadPool(std::size_t threads);
+
+    /** Drains nothing: pending tasks still run before workers exit. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Enqueue @p task; the returned future yields its result (or
+     * rethrows its exception).
+     */
+    template <typename F>
+    auto
+    submit(F &&task) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto packaged = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(task));
+        std::future<R> result = packaged->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([packaged] { (*packaged)(); });
+        }
+        ready_.notify_one();
+        return result;
+    }
+
+    /** Whether the calling thread is one of this pool's workers. */
+    static bool insideWorker();
+
+    /**
+     * Process-wide pool for kernel parallelism, sized to the hardware
+     * (hardware_concurrency, minimum 1). Created on first use.
+     */
+    static ThreadPool &shared();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable ready_;
+    bool stopping_ = false;
+};
+
+/**
+ * Run `body(begin, end)` over [begin, end) split into @p chunks equal
+ * slices scheduled on @p pool, blocking until all complete. Chunk
+ * boundaries depend only on (begin, end, chunks) — never on the worker
+ * count — so per-chunk results are stable across pool sizes. Runs
+ * inline when the range is empty, the pool has a single worker, or the
+ * caller is itself a pool worker.
+ */
+void parallelFor(ThreadPool &pool, std::int64_t begin, std::int64_t end,
+                 int chunks,
+                 const std::function<void(std::int64_t, std::int64_t)> &body);
+
+/**
+ * Deterministic parallel sum: `body(begin, end)` returns a partial
+ * value per chunk; partials are combined with += in chunk-index order,
+ * so the result is bit-identical for any worker count.
+ */
+double parallelSum(ThreadPool &pool, std::int64_t begin, std::int64_t end,
+                   int chunks,
+                   const std::function<double(std::int64_t, std::int64_t)>
+                       &body);
+
+} // namespace lsqca
+
+#endif // LSQCA_SWEEP_THREAD_POOL_H

@@ -1,0 +1,129 @@
+#include "sweep/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace lsqca {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> pending;
+    for (int i = 0; i < 100; ++i)
+        pending.push_back(pool.submit([&ran] { ++ran; }));
+    for (auto &f : pending)
+        f.get();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, FutureCarriesResult)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ResultsMatchSubmissionOrder)
+{
+    // Futures pair each result with its submission slot even though
+    // completion order is arbitrary.
+    ThreadPool pool(8);
+    std::vector<std::future<int>> pending;
+    for (int i = 0; i < 64; ++i)
+        pending.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(pending[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto boom = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(boom.get(), std::runtime_error);
+    // The pool survives a throwing task.
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, MinimumOneWorker)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, PendingTasksRunBeforeShutdown)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&ran] { ++ran; });
+        // Destructor joins after the queue drains.
+    }
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(pool, 0, 1000, 16,
+                [&hits](std::int64_t lo, std::int64_t hi) {
+                    for (std::int64_t i = lo; i < hi; ++i)
+                        ++hits[static_cast<std::size_t>(i)];
+                });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop)
+{
+    ThreadPool pool(2);
+    bool touched = false;
+    parallelFor(pool, 5, 5, 8,
+                [&touched](std::int64_t, std::int64_t) {
+                    touched = true;
+                });
+    EXPECT_FALSE(touched);
+}
+
+TEST(ParallelSum, MatchesSerialSum)
+{
+    ThreadPool pool(4);
+    auto body = [](std::int64_t lo, std::int64_t hi) {
+        double s = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i)
+            s += static_cast<double>(i);
+        return s;
+    };
+    const double parallel = parallelSum(pool, 0, 100000, 64, body);
+    EXPECT_DOUBLE_EQ(parallel, 100000.0 * 99999.0 / 2.0);
+}
+
+TEST(ParallelSum, DeterministicAcrossWorkerCounts)
+{
+    // Same chunk partition regardless of pool size: the floating-point
+    // result is bit-identical for 1, 2, and 8 workers.
+    auto body = [](std::int64_t lo, std::int64_t hi) {
+        double s = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i)
+            s += 1.0 / static_cast<double>(i + 1);
+        return s;
+    };
+    ThreadPool one(1), two(2), eight(8);
+    const double a = parallelSum(one, 0, 250000, 64, body);
+    const double b = parallelSum(two, 0, 250000, 64, body);
+    const double c = parallelSum(eight, 0, 250000, 64, body);
+    EXPECT_EQ(a, b); // bitwise, not approximate
+    EXPECT_EQ(b, c);
+}
+
+} // namespace
+} // namespace lsqca
