@@ -9,118 +9,47 @@
  * Reported on the two headline workloads (multiplier, SELECT) plus the
  * worst-case Clifford chain (cat).
  *
- * All variant points fan out over the sweep engine (`--threads N`);
- * BENCH_ablation.json records per-job metrics.
+ * All variant points come from the declarative api::specs::ablation()
+ * sweep spec — including the LD/ST translation swap, expressed as a
+ * translate patch on the variant axis — and fan out over the sweep
+ * engine (`--threads N`, `--shard i/N`); this file only renders the
+ * tables. BENCH_ablation.json records per-job metrics.
  */
 
-#include <functional>
-
+#include "api/paper_specs.h"
 #include "bench_util.h"
-
-namespace lsqca {
-namespace {
-
-struct Work
-{
-    std::string name;
-    Program inMem;
-    Program ldSt;
-    std::int64_t prefix;
-};
-
-struct Variant
-{
-    const char *label;
-    bool useLdSt; ///< run the explicit-LD/ST translation
-    std::function<void(ArchConfig &)> mutate;
-};
-
-const std::vector<Variant> &
-variants()
-{
-    static const std::vector<Variant> kVariants = {
-        {"baseline (all paper opts)", false, [](ArchConfig &) {}},
-        {"no locality-aware store", false,
-         [](ArchConfig &cfg) { cfg.localityStore = false; }},
-        {"no in-memory ops (LD/ST everywhere)", true,
-         [](ArchConfig &cfg) { cfg.inMemoryOps = false; }},
-        {"+ direct-surgery extension", false,
-         [](ArchConfig &cfg) { cfg.directSurgery = true; }},
-        {"buffer cap 1", false,
-         [](ArchConfig &cfg) { cfg.bufferCap = 1; }},
-        {"buffer cap 8", false,
-         [](ArchConfig &cfg) { cfg.bufferCap = 8; }},
-        {"cold magic buffer", false,
-         [](ArchConfig &cfg) { cfg.warmBuffer = false; }},
-        {"2 banks", false, [](ArchConfig &cfg) { cfg.banks = 2; }},
-        {"no row-parallel unitaries", false,
-         [](ArchConfig &cfg) { cfg.rowParallelOps = false; }},
-        {"interleaved placement", false,
-         [](ArchConfig &cfg) {
-             cfg.placement = PlacementPolicy::Interleaved;
-         }},
-        {"interleaved + direct surgery", false,
-         [](ArchConfig &cfg) {
-             cfg.placement = PlacementPolicy::Interleaved;
-             cfg.directSurgery = true;
-         }},
-    };
-    return kVariants;
-}
-
-} // namespace
-} // namespace lsqca
 
 int
 main(int argc, char **argv)
 {
     using namespace lsqca;
     const auto args = bench::parseArgs(argc, argv);
+    const api::SweepSpec spec = api::specs::ablation(args.full);
+    const bench::BenchRun bench_run = bench::runSpec(spec, args);
+    if (!args.shard.isWhole())
+        return 0; // a slice can't render the cross-variant tables
 
-    std::vector<Work> works;
-    auto addWork = [&](const char *name, const Circuit &lowered,
-                       std::int64_t prefix) {
-        TranslateOptions explicit_ldst;
-        explicit_ldst.inMemoryOps = false;
-        works.push_back({name, translate(lowered),
-                         translate(lowered, explicit_ldst), prefix});
-    };
-    addWork("multiplier", lowerToCliffordT(makeMultiplier()),
-            args.full ? 0 : 60'000);
-    addWork("SELECT", lowerToCliffordT(makeSelect({11, 0})),
-            args.full ? 0 : 60'000);
-    addWork("cat", lowerToCliffordT(makeCat()), 0);
+    const auto &works = spec.axes[0].values;
+    // Variant axis: "conventional", then (variant x point/line) pairs
+    // named "<variant label>/<machine label>".
+    const auto &variants = spec.axes[1].values;
+    const std::size_t num_variants = (variants.size() - 1) / 2;
 
-    bench::Sweep sweep;
-    for (const auto &work : works) {
-        ArchConfig conv;
-        conv.sam = SamKind::Conventional;
-        sweep.add(work.name + "/conventional", work.inMem, conv,
-                  work.prefix);
-        for (const auto &variant : variants()) {
-            for (SamKind sam : {SamKind::Point, SamKind::Line}) {
-                ArchConfig cfg;
-                cfg.sam = sam;
-                variant.mutate(cfg);
-                sweep.add(work.name + "/" + variant.label + "/" +
-                              cfg.label(),
-                          variant.useLdSt ? work.ldSt : work.inMem, cfg,
-                          work.prefix);
-            }
-        }
-    }
-    sweep.run(args.threads);
-
+    bench::ResultCursor cursor(bench_run.run);
     for (const auto &work : works) {
         const double conv =
-            static_cast<double>(sweep.next().execBeats);
+            static_cast<double>(cursor.next().execBeats);
         TextTable table({"variant", "point#1 overhead",
                          "line#1 overhead"});
-        for (const auto &variant : variants()) {
-            std::vector<std::string> row{variant.label};
+        for (std::size_t v = 0; v < num_variants; ++v) {
+            // Machine labels contain no '/', so the variant label is
+            // everything before the last separator.
+            const std::string &name = variants[1 + 2 * v].name;
+            std::vector<std::string> row{
+                name.substr(0, name.rfind('/'))};
             for (int s = 0; s < 2; ++s)
                 row.push_back(TextTable::num(
-                    static_cast<double>(sweep.next().execBeats) / conv,
+                    static_cast<double>(cursor.next().execBeats) / conv,
                     3));
             table.addRow(row);
         }
@@ -129,6 +58,5 @@ main(int argc, char **argv)
                         ", factory 1, overhead vs conventional)",
                     args, "ablation_" + work.name);
     }
-    sweep.writeJson("ablation", args);
     return 0;
 }

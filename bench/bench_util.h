@@ -3,9 +3,11 @@
 
 /**
  * @file
- * Shared plumbing for the figure/table benches: benchmark loading with
- * steady-state prefixes, standard machine configurations, and CSV
- * mirroring.
+ * Shared plumbing for the figure/table benches: argument parsing, spec
+ * execution through the declarative experiment API (src/api), and CSV
+ * mirroring. The figure benches build a SweepSpec (api/paper_specs.h),
+ * run it through the same runSpec() entry point the `lsqca` CLI uses,
+ * and only keep their table-rendering phase here.
  */
 
 #include <cstdint>
@@ -16,88 +18,19 @@
 #include <string>
 #include <vector>
 
-#include "arch/config.h"
-#include "circuit/lowering.h"
+#include "api/registry.h"
+#include "api/spec.h"
 #include "common/error.h"
 #include "common/table.h"
-#include "isa/program.h"
 #include "sim/simulator.h"
-#include "sweep/sweep.h"
-#include "synth/benchmarks.h"
-#include "translate/translate.h"
 
 namespace lsqca::bench {
 
-/** A translated benchmark plus its simulation prefix budget. */
-struct Workload
-{
-    std::string name;
-    Program program;
-    /** Steady-state instruction prefix (0 = simulate everything). */
-    std::int64_t prefix = 0;
-};
-
 /**
- * The paper's seven-benchmark suite, lowered and translated. Large
- * iterative programs (multiplier, square_root, SELECT) get steady-state
- * prefixes unless @p full — their loops are periodic, so CPI and
- * overhead converge long before the end (EXPERIMENTS.md validates the
- * prefix choice).
- */
-inline std::vector<Workload>
-paperWorkloads(bool full)
-{
-    const std::int64_t kPrefix = full ? 0 : 60'000;
-    std::vector<Workload> loads;
-    auto add = [&](const char *name, const Circuit &circ,
-                   std::int64_t prefix) {
-        loads.push_back(
-            {name, translate(lowerToCliffordT(circ)), prefix});
-    };
-    add("adder", makeAdder(), 0);
-    add("bv", makeBernsteinVazirani(), 0);
-    add("cat", makeCat(), 0);
-    add("ghz", makeGhz(), 0);
-    add("multiplier", makeMultiplier(), kPrefix);
-    add("square_root", makeSquareRoot(), kPrefix);
-    add("SELECT", makeSelect({11, 0}), kPrefix);
-    return loads;
-}
-
-/** Simulate @p load under @p arch honouring its prefix budget. */
-inline SimResult
-run(const Workload &load, const ArchConfig &arch)
-{
-    SimOptions opts;
-    opts.arch = arch;
-    opts.maxInstructions = load.prefix;
-    return simulate(load.program, opts);
-}
-
-/** The bar configurations of Fig. 13 (left-to-right). */
-inline std::vector<ArchConfig>
-fig13Machines(std::int32_t factories)
-{
-    std::vector<ArchConfig> machines;
-    auto push = [&](SamKind sam, std::int32_t banks) {
-        ArchConfig cfg;
-        cfg.sam = sam;
-        cfg.banks = banks;
-        cfg.factories = factories;
-        machines.push_back(cfg);
-    };
-    push(SamKind::Point, 1);
-    push(SamKind::Point, 2);
-    push(SamKind::Line, 1);
-    push(SamKind::Line, 2);
-    push(SamKind::Line, 4);
-    push(SamKind::Conventional, 1);
-    return machines;
-}
-
-/**
- * Parse "--csv <dir>", "--full", "--threads N", "--out <dir>", and
- * "--smoke" from argv.
+ * Parse "--csv <dir>", "--full", "--threads N", "--out <dir>",
+ * "--smoke", and "--shard i/N" from argv. Unknown arguments, missing
+ * values, and malformed numbers are fatal (exit 2) — a typo must not
+ * silently run a different experiment.
  */
 struct BenchArgs
 {
@@ -109,92 +42,99 @@ struct BenchArgs
     std::string outDir = "bench/out";
     /** Reduced-size run for CI (micro_kernels). */
     bool smoke = false;
+    /** Contiguous sweep slice; tables are skipped when sharded. */
+    api::ShardRange shard;
 };
+
+[[noreturn]] inline void
+argError(const std::string &message)
+{
+    std::cerr << "error: " << message
+              << "\n(supported: --csv <dir>, --full, --threads N,"
+                 " --out <dir>, --smoke, --shard i/N)\n";
+    std::exit(2);
+}
 
 inline BenchArgs
 parseArgs(int argc, char **argv)
 {
     BenchArgs args;
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            argError(std::string("missing value for ") + argv[i]);
+        return argv[++i];
+    };
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
-            args.csvDir = argv[++i];
-        else if (std::strcmp(argv[i], "--full") == 0)
+        if (std::strcmp(argv[i], "--csv") == 0) {
+            args.csvDir = value(i);
+        } else if (std::strcmp(argv[i], "--full") == 0) {
             args.full = true;
-        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
-            args.threads =
-                static_cast<std::int32_t>(std::atoi(argv[++i]));
-        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
-            args.outDir = argv[++i];
-        else if (std::strcmp(argv[i], "--smoke") == 0)
+        } else if (std::strcmp(argv[i], "--threads") == 0) {
+            try {
+                args.threads = api::parseThreadCount(value(i));
+            } catch (const ConfigError &e) {
+                argError(e.what());
+            }
+        } else if (std::strcmp(argv[i], "--out") == 0) {
+            args.outDir = value(i);
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
             args.smoke = true;
-        else
-            std::cerr << "unknown argument: " << argv[i]
-                      << " (supported: --csv <dir>, --full, --threads N,"
-                         " --out <dir>, --smoke)\n";
+        } else if (std::strcmp(argv[i], "--shard") == 0) {
+            try {
+                args.shard = api::ShardRange::parse(value(i));
+            } catch (const ConfigError &e) {
+                argError(e.what());
+            }
+        } else {
+            argError(std::string("unknown argument: ") + argv[i]);
+        }
     }
     return args;
 }
 
 /**
- * Job-list builder + result cursor for porting the serial figure loops
- * onto SweepEngine: phase one walks the bench's nested loops pushing
- * jobs, the engine fans them out, and phase two re-walks the same loops
- * consuming results in the same order. The cursor asserts the two walks
- * stayed aligned.
+ * A SpecRun plus the registry that owns its programs: run.jobs[].program
+ * points into the registry's memo, so the two must travel together.
  */
-class Sweep
+struct BenchRun
+{
+    api::BenchmarkRegistry registry;
+    api::SpecRun run;
+};
+
+/** Run @p spec through the paper registry, honouring BenchArgs. */
+inline BenchRun
+runSpec(const api::SweepSpec &spec, const BenchArgs &args)
+{
+    BenchRun bench_run{api::BenchmarkRegistry::paper(), {}};
+    api::RunSpecOptions options;
+    options.threads = args.threads;
+    options.outDir = args.outDir;
+    options.shard = args.shard;
+    bench_run.run = api::runSpec(spec, bench_run.registry, options);
+    return bench_run;
+}
+
+/**
+ * Submission-order cursor for the benches' table phase: the table
+ * loops re-walk the spec's axis structure consuming one result per
+ * job, and the cursor asserts the two walks stay aligned.
+ */
+class ResultCursor
 {
   public:
-    /** Queue one job; @p prefix caps instructions (0 = whole program). */
-    void
-    add(std::string name, const Program &program, const ArchConfig &arch,
-        std::int64_t prefix = 0)
-    {
-        SweepJob job;
-        job.name = std::move(name);
-        job.program = &program;
-        job.options.arch = arch;
-        job.options.maxInstructions = prefix;
-        jobs_.push_back(std::move(job));
-    }
+    explicit ResultCursor(const api::SpecRun &run) : run_(run) {}
 
-    /** Fan all queued jobs across @p threads workers (0 = hardware). */
-    void
-    run(std::int32_t threads)
-    {
-        SweepEngine engine({threads});
-        report_ = engine.run(jobs_);
-        cursor_ = 0;
-    }
-
-    /** Next result, in the order add() was called. */
     const SimResult &
     next()
     {
-        LSQCA_REQUIRE(cursor_ < report_.results.size(),
-                      "sweep cursor ran past the job list");
-        return report_.results[cursor_++];
-    }
-
-    const std::vector<SweepJob> &jobs() const { return jobs_; }
-    const SweepReport &report() const { return report_; }
-
-    /** Write BENCH_<name>.json and log where it landed. */
-    void
-    writeJson(const std::string &benchName, const BenchArgs &args) const
-    {
-        const std::string path = writeBenchJson(
-            benchName, benchReport(benchName, jobs_, report_),
-            args.outDir);
-        std::cerr << benchName << ": " << jobs_.size() << " jobs, "
-                  << report_.threads << " threads, "
-                  << TextTable::num(report_.wallSeconds, 3) << " s -> "
-                  << path << "\n";
+        LSQCA_REQUIRE(cursor_ < run_.report.results.size(),
+                      "result cursor ran past the job list");
+        return run_.report.results[cursor_++];
     }
 
   private:
-    std::vector<SweepJob> jobs_;
-    SweepReport report_;
+    const api::SpecRun &run_;
     std::size_t cursor_ = 0;
 };
 

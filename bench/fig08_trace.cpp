@@ -13,6 +13,9 @@
 
 #include "analysis/trace_analysis.h"
 #include "bench_util.h"
+#include "circuit/lowering.h"
+#include "synth/benchmarks.h"
+#include "translate/translate.h"
 
 namespace lsqca {
 namespace {

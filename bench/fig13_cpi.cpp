@@ -10,11 +10,14 @@
  * and SELECT benchmarks stay close to conventional; more factories widen
  * the gap; more banks close it.
  *
- * All (benchmark x machine x factory) points fan out over the sweep
- * engine (`--threads N`); results and tables are identical to the old
- * serial loop, and BENCH_fig13.json records per-job metrics.
+ * The sweep itself is declarative: api::specs::fig13() (the same spec
+ * `lsqca run specs/fig13.json` executes) expands into every
+ * (benchmark x machine x factory) point and fans out over the sweep
+ * engine (`--threads N`, `--shard i/N`); this file only renders the
+ * tables. BENCH_fig13.json records per-job metrics.
  */
 
+#include "api/paper_specs.h"
 #include "bench_util.h"
 
 int
@@ -22,19 +25,14 @@ main(int argc, char **argv)
 {
     using namespace lsqca;
     const auto args = bench::parseArgs(argc, argv);
-    const auto loads = bench::paperWorkloads(args.full);
+    const api::SweepSpec spec = api::specs::fig13(args.full);
+    const bench::BenchRun bench_run = bench::runSpec(spec, args);
+    if (!args.shard.isWhole())
+        return 0; // a slice can't render the cross-machine tables
 
-    bench::Sweep sweep;
-    for (std::int32_t factories : {1, 2, 4})
-        for (const auto &load : loads)
-            for (const auto &machine : bench::fig13Machines(factories))
-                sweep.add(load.name + "/" + machine.label() + "/f" +
-                              std::to_string(factories),
-                          load.program, machine, load.prefix);
-    sweep.run(args.threads);
-
-    const std::size_t machines_per_load =
-        bench::fig13Machines(1).size();
+    const auto &loads = spec.axes[1].values;
+    const std::size_t machines_per_load = spec.axes[2].values.size();
+    bench::ResultCursor cursor(bench_run.run);
     for (std::int32_t factories : {1, 2, 4}) {
         TextTable table({"benchmark", "point#1", "point#2", "line#1",
                          "line#2", "line#4", "conventional",
@@ -42,7 +40,7 @@ main(int argc, char **argv)
         for (const auto &load : loads) {
             std::vector<double> cpis;
             for (std::size_t m = 0; m < machines_per_load; ++m)
-                cpis.push_back(sweep.next().cpi);
+                cpis.push_back(cursor.next().cpi);
             std::vector<std::string> row{load.name};
             for (double cpi : cpis)
                 row.push_back(TextTable::num(cpi, 2));
@@ -57,6 +55,5 @@ main(int argc, char **argv)
                         (factories == 1 ? "y" : "ies"),
                     args, "fig13_f" + std::to_string(factories));
     }
-    sweep.writeJson("fig13", args);
     return 0;
 }

@@ -9,42 +9,26 @@
  *
  * Default runs use steady-state prefixes for the long benchmarks; pass
  * --full for complete executions (slower). The ~1.8k simulation points
- * fan out over the sweep engine (`--threads N`); tables are identical
- * to the serial loop and BENCH_fig14.json records per-job metrics.
+ * come from the declarative api::specs::fig14() sweep spec and fan out
+ * over the sweep engine (`--threads N`, `--shard i/N`); this file only
+ * renders the tables. BENCH_fig14.json records per-job metrics.
  */
 
 #include <map>
 
+#include "api/paper_specs.h"
 #include "bench_util.h"
 #include "common/stats.h"
 
 namespace lsqca {
 namespace {
 
-struct SamChoice
-{
-    const char *label;
-    SamKind sam;
-    std::int32_t banks;
+constexpr const char *kChoices[] = {
+    "point#1",
+    "point#2",
+    "line#1",
+    "line#4",
 };
-
-constexpr SamChoice kChoices[] = {
-    {"point#1", SamKind::Point, 1},
-    {"point#2", SamKind::Point, 2},
-    {"line#1", SamKind::Line, 1},
-    {"line#4", SamKind::Line, 4},
-};
-
-ArchConfig
-hybridConfig(const SamChoice &choice, std::int32_t factories, double f)
-{
-    ArchConfig cfg;
-    cfg.sam = choice.sam;
-    cfg.banks = choice.banks;
-    cfg.factories = factories;
-    cfg.hybridFraction = f;
-    return cfg;
-}
 
 } // namespace
 } // namespace lsqca
@@ -54,34 +38,13 @@ main(int argc, char **argv)
 {
     using namespace lsqca;
     const auto args = bench::parseArgs(argc, argv);
-    const auto loads = bench::paperWorkloads(args.full);
+    const api::SweepSpec spec = api::specs::fig14(args.full);
+    const bench::BenchRun bench_run = bench::runSpec(spec, args);
+    if (!args.shard.isWhole())
+        return 0; // a slice can't render the cross-machine tables
 
-    // Phase 1: queue every simulation point, in the exact order phase 2
-    // consumes them.
-    bench::Sweep sweep;
-    for (std::int32_t factories : {1, 2, 4}) {
-        for (const auto &load : loads) {
-            ArchConfig conv;
-            conv.sam = SamKind::Conventional;
-            conv.factories = factories;
-            sweep.add(load.name + "/conventional/f" +
-                          std::to_string(factories),
-                      load.program, conv, load.prefix);
-            for (int step = 0; step <= 20; ++step) {
-                const double f = 0.05 * step;
-                for (const auto &choice : kChoices)
-                    sweep.add(load.name + "/" + choice.label + "/h" +
-                                  TextTable::num(f, 2) + "/f" +
-                                  std::to_string(factories),
-                              load.program,
-                              hybridConfig(choice, factories, f),
-                              load.prefix);
-            }
-        }
-    }
-    sweep.run(args.threads);
-
-    // Phase 2: re-walk the loops, consuming results into the tables.
+    const auto &loads = spec.axes[1].values;
+    bench::ResultCursor cursor(bench_run.run);
     for (std::int32_t factories : {1, 2, 4}) {
         // overhead[label][f-step] accumulated for the GEOMEAN row.
         std::map<std::string, std::vector<std::vector<double>>> overs;
@@ -89,7 +52,7 @@ main(int argc, char **argv)
 
         for (const auto &load : loads) {
             const double conv_beats =
-                static_cast<double>(sweep.next().execBeats);
+                static_cast<double>(cursor.next().execBeats);
 
             TextTable table({"f", "point#1 dens", "point#1 ovh",
                              "point#2 dens", "point#2 ovh",
@@ -98,14 +61,14 @@ main(int argc, char **argv)
             for (int step = 0; step <= 20; ++step) {
                 const double f = 0.05 * step;
                 std::vector<std::string> row{TextTable::num(f, 2)};
-                for (const auto &choice : kChoices) {
-                    const SimResult &r = sweep.next();
+                for (const char *choice : kChoices) {
+                    const SimResult &r = cursor.next();
                     const double overhead =
                         static_cast<double>(r.execBeats) / conv_beats;
                     row.push_back(TextTable::num(r.density(), 3));
                     row.push_back(TextTable::num(overhead, 3));
-                    auto &o = overs[choice.label];
-                    auto &d = dens[choice.label];
+                    auto &o = overs[choice];
+                    auto &d = dens[choice];
                     if (o.size() <= static_cast<std::size_t>(step)) {
                         o.resize(21);
                         d.resize(21);
@@ -131,14 +94,13 @@ main(int argc, char **argv)
                        "line#1 ovh", "line#4 dens", "line#4 ovh"});
         for (int step = 0; step <= 20; ++step) {
             std::vector<std::string> row{TextTable::num(0.05 * step, 2)};
-            for (const auto &choice : kChoices) {
+            for (const char *choice : kChoices) {
                 row.push_back(TextTable::num(
-                    geomean(
-                        dens[choice.label][static_cast<std::size_t>(step)]),
+                    geomean(dens[choice][static_cast<std::size_t>(step)]),
                     3));
                 row.push_back(TextTable::num(
-                    geomean(overs[choice.label]
-                                 [static_cast<std::size_t>(step)]),
+                    geomean(
+                        overs[choice][static_cast<std::size_t>(step)]),
                     3));
             }
             geo.addRow(row);
@@ -148,6 +110,5 @@ main(int argc, char **argv)
                         std::to_string(factories) + " factories)",
                     args, "fig14_geomean_f" + std::to_string(factories));
     }
-    sweep.writeJson("fig14", args);
     return 0;
 }

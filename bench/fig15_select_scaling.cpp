@@ -8,107 +8,44 @@
  *
  * The large instances are evaluated on a steady-state unary-iteration
  * prefix (the loop is periodic); pass --full for complete circuits.
- * Each width's circuit is synthesized once, then all machine points fan
- * out over the sweep engine (`--threads N`); BENCH_fig15.json records
- * per-job metrics.
+ * The declarative api::specs::fig15() sweep spec synthesizes each
+ * width's circuit once (registry memoization) and fans every machine
+ * point over the sweep engine (`--threads N`, `--shard i/N`); this
+ * file only renders the tables. BENCH_fig15.json records per-job
+ * metrics.
  */
 
+#include "api/paper_specs.h"
 #include "bench_util.h"
-
-namespace lsqca {
-namespace {
-
-struct Config
-{
-    const char *label;
-    SamKind sam;
-    std::int32_t banks;
-    bool hybrid;
-};
-
-constexpr Config kConfigs[] = {
-    {"point#1", SamKind::Point, 1, false},
-    {"point#2", SamKind::Point, 2, false},
-    {"line#1", SamKind::Line, 1, false},
-    {"line#4", SamKind::Line, 4, false},
-    {"hybrid point#1", SamKind::Point, 1, true},
-    {"hybrid point#2", SamKind::Point, 2, true},
-    {"hybrid line#1", SamKind::Line, 1, true},
-    {"hybrid line#4", SamKind::Line, 4, true},
-};
-
-} // namespace
-} // namespace lsqca
+#include "synth/benchmarks.h"
 
 int
 main(int argc, char **argv)
 {
     using namespace lsqca;
     const auto args = bench::parseArgs(argc, argv);
+    const api::SweepSpec spec = api::specs::fig15(args.full);
+    const bench::BenchRun bench_run = bench::runSpec(spec, args);
+    if (!args.shard.isWhole())
+        return 0; // a slice can't render the cross-machine tables
 
     const std::int32_t widths[] = {21, 41, 61, 81, 101};
+    // The machine axis: conventional first, then the eight configs.
+    const auto &configs = spec.axes[2].values;
 
-    // Synthesize each SELECT instance once; every machine point reuses
-    // the same translated program.
-    std::vector<SelectLayout> layouts;
-    std::vector<bench::Workload> instances;
-    std::vector<double> hotFractions;
-    for (std::int32_t width : widths) {
-        const SelectLayout layout = selectLayout(width);
-        // Steady-state prefix: enough unary-iteration periods for the
-        // amortized walker cost to converge.
-        SelectParams params;
-        params.width = width;
-        params.maxTerms =
-            args.full ? 0
-                      : std::min<std::int64_t>(layout.numTerms, 1200);
-        layouts.push_back(layout);
-        instances.push_back(
-            {"SELECT" + std::to_string(width),
-             translate(lowerToCliffordT(makeSelect(params))), 0});
-        // Hybrid ratio: control+temporal registers conventional.
-        hotFractions.push_back(
-            static_cast<double>(layout.controlBits +
-                                layout.temporalBits) /
-            static_cast<double>(layout.totalQubits));
-    }
-
-    bench::Sweep sweep;
-    for (std::int32_t factories : {1, 2, 4}) {
-        for (std::size_t w = 0; w < instances.size(); ++w) {
-            ArchConfig conv;
-            conv.sam = SamKind::Conventional;
-            conv.factories = factories;
-            sweep.add(instances[w].name + "/conventional/f" +
-                          std::to_string(factories),
-                      instances[w].program, conv);
-            for (const auto &config : kConfigs) {
-                ArchConfig cfg;
-                cfg.sam = config.sam;
-                cfg.banks = config.banks;
-                cfg.factories = factories;
-                cfg.hybridFraction =
-                    config.hybrid ? hotFractions[w] : 0.0;
-                sweep.add(instances[w].name + "/" + config.label +
-                              "/f" + std::to_string(factories),
-                          instances[w].program, cfg);
-            }
-        }
-    }
-    sweep.run(args.threads);
-
+    bench::ResultCursor cursor(bench_run.run);
     for (std::int32_t factories : {1, 2, 4}) {
         TextTable table({"width", "data qubits", "config", "density",
                          "exec overhead"});
-        for (std::size_t w = 0; w < instances.size(); ++w) {
+        for (std::int32_t width : widths) {
             const double conv_beats =
-                static_cast<double>(sweep.next().execBeats);
-            for (const auto &config : kConfigs) {
-                const SimResult r = sweep.next();
+                static_cast<double>(cursor.next().execBeats);
+            for (std::size_t c = 1; c < configs.size(); ++c) {
+                const SimResult &r = cursor.next();
                 table.addRow(
-                    {std::to_string(widths[w]),
-                     std::to_string(layouts[w].totalQubits),
-                     config.label, TextTable::num(r.density(), 3),
+                    {std::to_string(width),
+                     std::to_string(selectLayout(width).totalQubits),
+                     configs[c].name, TextTable::num(r.density(), 3),
                      TextTable::num(static_cast<double>(r.execBeats) /
                                         conv_beats,
                                     3)});
@@ -120,6 +57,5 @@ main(int argc, char **argv)
                         (factories == 1 ? "y" : "ies"),
                     args, "fig15_f" + std::to_string(factories));
     }
-    sweep.writeJson("fig15", args);
     return 0;
 }

@@ -17,8 +17,11 @@
 #include <cstdint>
 
 #include "bench_util.h"
+#include "circuit/lowering.h"
 #include "circuit/statevector.h"
 #include "common/json.h"
+#include "synth/benchmarks.h"
+#include "translate/translate.h"
 
 namespace lsqca {
 namespace {

@@ -1,0 +1,149 @@
+#ifndef LSQCA_API_JSON_READER_H
+#define LSQCA_API_JSON_READER_H
+
+/**
+ * @file
+ * Strict JSON-object cursor shared by every deserializer in the API
+ * layer: each get marks its key, finish() rejects whatever was never
+ * asked for, and all diagnostics carry the "<what>.<key>" path. This is
+ * what makes a typo in a spec file fail fast instead of silently
+ * running the wrong experiment.
+ */
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+
+namespace lsqca::api {
+
+/** Cursor over a strict JSON object (see file comment). */
+class ObjectReader
+{
+  public:
+    ObjectReader(const Json &doc, const std::string &what)
+        : doc_(doc), what_(what)
+    {
+        LSQCA_REQUIRE(doc.isObject(), what + " must be a JSON object");
+        seen_.assign(doc.members().size(), false);
+    }
+
+    /** The raw member, or nullptr when absent. */
+    const Json *
+    find(const std::string &key)
+    {
+        const auto &members = doc_.members();
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            if (members[i].first == key) {
+                seen_[i] = true;
+                return &members[i].second;
+            }
+        }
+        return nullptr;
+    }
+
+    /** find() that throws when the key is absent. */
+    const Json &
+    require(const std::string &key)
+    {
+        const Json *value = find(key);
+        LSQCA_REQUIRE(value != nullptr,
+                      what_ + " is missing required key \"" + key + "\"");
+        return *value;
+    }
+
+    void
+    readBool(const std::string &key, bool &out)
+    {
+        if (const Json *value = find(key)) {
+            LSQCA_REQUIRE(value->isBool(),
+                          context(key) + " must be a boolean");
+            out = value->asBool();
+        }
+    }
+
+    void
+    readString(const std::string &key, std::string &out)
+    {
+        if (const Json *value = find(key)) {
+            LSQCA_REQUIRE(value->isString(),
+                          context(key) + " must be a string");
+            out = value->asString();
+        }
+    }
+
+    void
+    readInt32(const std::string &key, std::int32_t &out,
+              std::int64_t min = std::numeric_limits<std::int32_t>::min(),
+              std::int64_t max = std::numeric_limits<std::int32_t>::max())
+    {
+        std::int64_t v = out;
+        readInt64(key, v, min, max);
+        out = static_cast<std::int32_t>(v);
+    }
+
+    void
+    readInt64(const std::string &key, std::int64_t &out,
+              std::int64_t min = std::numeric_limits<std::int64_t>::min(),
+              std::int64_t max = std::numeric_limits<std::int64_t>::max())
+    {
+        if (const Json *value = find(key)) {
+            LSQCA_REQUIRE(value->isNumber(),
+                          context(key) + " must be a number");
+            std::int64_t v = 0;
+            try {
+                v = value->asInt();
+            } catch (const ConfigError &) {
+                throw ConfigError(context(key) + " must be an integer");
+            }
+            LSQCA_REQUIRE(v >= min && v <= max,
+                          context(key) + " = " + std::to_string(v) +
+                              " is outside [" + std::to_string(min) +
+                              ", " + std::to_string(max) + "]");
+            out = v;
+        }
+    }
+
+    void
+    readDouble(const std::string &key, double &out, double min, double max)
+    {
+        if (const Json *value = find(key)) {
+            LSQCA_REQUIRE(value->isNumber(),
+                          context(key) + " must be a number");
+            const double v = value->asDouble();
+            LSQCA_REQUIRE(v >= min && v <= max,
+                          context(key) + " = " + std::to_string(v) +
+                              " is outside [" + std::to_string(min) +
+                              ", " + std::to_string(max) + "]");
+            out = v;
+        }
+    }
+
+    /** Reject every member that no read*() consumed. */
+    void
+    finish() const
+    {
+        const auto &members = doc_.members();
+        for (std::size_t i = 0; i < members.size(); ++i)
+            LSQCA_REQUIRE(seen_[i], "unknown " + what_ + " key \"" +
+                                        members[i].first + "\"");
+    }
+
+  private:
+    std::string
+    context(const std::string &key) const
+    {
+        return what_ + "." + key;
+    }
+
+    const Json &doc_;
+    std::string what_;
+    std::vector<bool> seen_;
+};
+
+} // namespace lsqca::api
+
+#endif // LSQCA_API_JSON_READER_H

@@ -1,0 +1,555 @@
+#include "api/spec.h"
+
+#include <algorithm>
+#include <iostream>
+#include <limits>
+
+#include "api/json_reader.h"
+#include "api/serialize.h"
+#include "common/error.h"
+#include "common/table.h"
+
+namespace lsqca::api {
+namespace {
+
+constexpr const char *kSpecSchema = "lsqca-spec-v1";
+constexpr const char *kBenchSchema = "lsqca-bench-v1";
+
+AxisValue
+axisValueFromJson(const Json &doc, const std::string &axisLabel)
+{
+    AxisValue value;
+    if (doc.isNumber()) {
+        // Scalar grid shorthand: the axis label names an integer
+        // ArchConfig field ({"axis": "factories", "values": [1, 2, 4]}).
+        LSQCA_REQUIRE(doc.isInt(),
+                      "axis \"" + axisLabel +
+                          "\": scalar shorthand values must be "
+                          "integers; use explicit objects otherwise");
+        value.scalar = doc;
+        value.arch = Json::object().set(axisLabel, doc);
+        value.name = std::to_string(doc.asInt());
+        return value;
+    }
+    ObjectReader reader(doc, "axis \"" + axisLabel + "\" value");
+    reader.readString("name", value.name);
+    reader.readString("bench", value.bench);
+    if (const Json *params = reader.find("params")) {
+        LSQCA_REQUIRE(params->isObject(),
+                      "axis value params must be an object");
+        value.params = *params;
+    }
+    std::int64_t prefix = -1;
+    reader.readInt64("prefix", prefix, 0,
+                     std::numeric_limits<std::int64_t>::max());
+    if (prefix >= 0)
+        value.prefix = prefix;
+    if (const Json *arch = reader.find("arch")) {
+        LSQCA_REQUIRE(arch->isObject(),
+                      "axis value arch must be an object");
+        value.arch = *arch;
+    }
+    if (const Json *translate = reader.find("translate")) {
+        LSQCA_REQUIRE(translate->isObject(),
+                      "axis value translate must be an object");
+        value.translate = *translate;
+    }
+    reader.finish();
+    return value;
+}
+
+Json
+axisValueToJson(const AxisValue &value)
+{
+    if (!value.scalar.isNull())
+        return value.scalar;
+    Json doc = Json::object();
+    if (!value.name.empty())
+        doc.set("name", value.name);
+    if (!value.bench.empty())
+        doc.set("bench", value.bench);
+    if (!value.params.isNull())
+        doc.set("params", value.params);
+    if (value.prefix)
+        doc.set("prefix", *value.prefix);
+    if (!value.arch.isNull())
+        doc.set("arch", value.arch);
+    if (!value.translate.isNull())
+        doc.set("translate", value.translate);
+    return doc;
+}
+
+/**
+ * Replace a "hybrid_fraction": "hot" placeholder with the benchmark's
+ * hot-set fraction; other patches pass through untouched.
+ */
+Json
+resolveHotFraction(const Json &patch, const BenchmarkRegistry &registry,
+                   const std::string &bench, const Json &params)
+{
+    const Json *hybrid = patch.find("hybrid_fraction");
+    if (hybrid == nullptr || !hybrid->isString())
+        return patch;
+    LSQCA_REQUIRE(hybrid->asString() == "hot",
+                  "arch.hybrid_fraction must be a number or \"hot\"");
+    Json resolved = Json::object();
+    for (const auto &member : patch.members()) {
+        if (member.first == "hybrid_fraction")
+            resolved.set(member.first,
+                         registry.hotFraction(bench, params));
+        else
+            resolved.set(member.first, member.second);
+    }
+    return resolved;
+}
+
+/** Fragment an axis value contributes to the job name. */
+std::string
+valueFragment(const AxisValue &value, const Json &resolvedArch)
+{
+    if (!value.name.empty())
+        return value.name;
+    if (!value.bench.empty())
+        return value.bench;
+    if (!resolvedArch.isNull()) {
+        ArchConfig cfg;
+        applyArchPatch(cfg, resolvedArch);
+        return cfg.label();
+    }
+    return "";
+}
+
+std::string
+renderName(const std::string &nameTemplate,
+           const std::vector<SweepAxis> &axes,
+           const std::vector<std::string> &fragments,
+           const std::string &archLabel)
+{
+    if (nameTemplate.empty()) {
+        std::string name;
+        for (const std::string &fragment : fragments) {
+            if (fragment.empty())
+                continue;
+            if (!name.empty())
+                name += '/';
+            name += fragment;
+        }
+        return name;
+    }
+    std::string name;
+    for (std::size_t i = 0; i < nameTemplate.size();) {
+        const char c = nameTemplate[i];
+        if (c != '{') {
+            name += c;
+            ++i;
+            continue;
+        }
+        const std::size_t close = nameTemplate.find('}', i);
+        LSQCA_REQUIRE(close != std::string::npos,
+                      "unclosed '{' in name template \"" +
+                          nameTemplate + "\"");
+        const std::string placeholder =
+            nameTemplate.substr(i + 1, close - i - 1);
+        if (placeholder == "arch") {
+            name += archLabel;
+        } else {
+            bool found = false;
+            for (std::size_t a = 0; a < axes.size(); ++a) {
+                if (axes[a].label == placeholder) {
+                    name += fragments[a];
+                    found = true;
+                    break;
+                }
+            }
+            LSQCA_REQUIRE(found, "name template placeholder \"{" +
+                                     placeholder +
+                                     "}\" names no axis (and is not "
+                                     "\"arch\")");
+        }
+        i = close + 1;
+    }
+    return name;
+}
+
+} // namespace
+
+SweepSpec
+SweepSpec::fromJson(const Json &doc)
+{
+    SweepSpec spec;
+    ObjectReader reader(doc, "spec");
+    const Json &schema = reader.require("schema");
+    LSQCA_REQUIRE(schema.isString() && schema.asString() == kSpecSchema,
+                  std::string("spec.schema must be \"") + kSpecSchema +
+                      "\"");
+    reader.readString("name", spec.name);
+    LSQCA_REQUIRE(!spec.name.empty(), "spec.name must be set");
+    reader.readString("name_template", spec.nameTemplate);
+    if (const Json *base = reader.find("arch_base")) {
+        LSQCA_REQUIRE(base->isObject(),
+                      "spec.arch_base must be an object");
+        spec.archBase = *base;
+    }
+    reader.readBool("record_trace", spec.recordTrace);
+    const Json &axes = reader.require("axes");
+    LSQCA_REQUIRE(axes.isArray() && axes.size() > 0,
+                  "spec.axes must be a non-empty array");
+    for (const Json &axisDoc : axes.items()) {
+        ObjectReader axisReader(axisDoc, "axis");
+        SweepAxis axis;
+        axisReader.readString("axis", axis.label);
+        LSQCA_REQUIRE(!axis.label.empty(),
+                      "every axis needs an \"axis\" label");
+        const Json &values = axisReader.require("values");
+        LSQCA_REQUIRE(values.isArray() && values.size() > 0,
+                      "axis \"" + axis.label +
+                          "\" needs a non-empty values array");
+        for (const Json &valueDoc : values.items())
+            axis.values.push_back(
+                axisValueFromJson(valueDoc, axis.label));
+        axisReader.finish();
+        spec.axes.push_back(std::move(axis));
+    }
+    reader.finish();
+    return spec;
+}
+
+SweepSpec
+SweepSpec::load(const std::string &path)
+{
+    // Json::load's errors already carry the path; only wrap the
+    // schema-level ones from fromJson.
+    const Json doc = Json::load(path);
+    try {
+        return fromJson(doc);
+    } catch (const ConfigError &e) {
+        throw ConfigError(path + ": " + e.what());
+    }
+}
+
+Json
+SweepSpec::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("schema", kSpecSchema);
+    doc.set("name", name);
+    if (!nameTemplate.empty())
+        doc.set("name_template", nameTemplate);
+    if (!archBase.isNull())
+        doc.set("arch_base", archBase);
+    if (recordTrace)
+        doc.set("record_trace", recordTrace);
+    Json axesDoc = Json::array();
+    for (const SweepAxis &axis : axes) {
+        Json axisDoc = Json::object();
+        axisDoc.set("axis", axis.label);
+        Json values = Json::array();
+        for (const AxisValue &value : axis.values)
+            values.push(axisValueToJson(value));
+        axisDoc.set("values", std::move(values));
+        axesDoc.push(std::move(axisDoc));
+    }
+    doc.set("axes", std::move(axesDoc));
+    return doc;
+}
+
+ShardRange
+ShardRange::parse(const std::string &text)
+{
+    const std::size_t slash = text.find('/');
+    LSQCA_REQUIRE(slash != std::string::npos && slash > 0 &&
+                      slash + 1 < text.size(),
+                  "shard must look like \"i/N\", got \"" + text + "\"");
+    ShardRange shard;
+    try {
+        std::size_t used = 0;
+        shard.index = std::stoi(text.substr(0, slash), &used);
+        LSQCA_REQUIRE(used == slash, "bad shard index");
+        shard.count = std::stoi(text.substr(slash + 1), &used);
+        LSQCA_REQUIRE(used == text.size() - slash - 1,
+                      "bad shard count");
+    } catch (const ConfigError &) {
+        throw;
+    } catch (const std::exception &) {
+        throw ConfigError("shard must look like \"i/N\", got \"" + text +
+                          "\"");
+    }
+    LSQCA_REQUIRE(shard.count >= 1, "shard count must be >= 1");
+    LSQCA_REQUIRE(shard.index >= 0 && shard.index < shard.count,
+                  "shard index must lie in [0, count)");
+    return shard;
+}
+
+std::int32_t
+parseThreadCount(const std::string &text)
+{
+    try {
+        std::size_t used = 0;
+        const int threads = std::stoi(text, &used);
+        LSQCA_REQUIRE(used == text.size() && threads >= 0 &&
+                          threads <= 4096,
+                      "bad thread count");
+        return threads;
+    } catch (const ConfigError &) {
+        throw ConfigError("--threads expects an integer in [0, 4096], "
+                          "got \"" +
+                          text + "\"");
+    } catch (const std::exception &) {
+        throw ConfigError("--threads expects an integer in [0, 4096], "
+                          "got \"" +
+                          text + "\"");
+    }
+}
+
+std::pair<std::size_t, std::size_t>
+ShardRange::bounds(std::size_t total) const
+{
+    const auto n = static_cast<std::uint64_t>(total);
+    const auto i = static_cast<std::uint64_t>(index);
+    const auto c = static_cast<std::uint64_t>(count);
+    return {static_cast<std::size_t>(n * i / c),
+            static_cast<std::size_t>(n * (i + 1) / c)};
+}
+
+std::vector<ExpandedJob>
+expandSpec(const SweepSpec &spec, const BenchmarkRegistry &registry)
+{
+    LSQCA_REQUIRE(!spec.axes.empty(), "spec \"" + spec.name +
+                                          "\" has no axes");
+    std::size_t benchAxis = spec.axes.size();
+    for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+        const SweepAxis &axis = spec.axes[a];
+        LSQCA_REQUIRE(!axis.values.empty(),
+                      "axis \"" + axis.label + "\" has no values");
+        for (std::size_t b = a + 1; b < spec.axes.size(); ++b)
+            LSQCA_REQUIRE(spec.axes[b].label != axis.label,
+                          "duplicate axis label \"" + axis.label + "\"");
+        const bool hasBench = !axis.values.front().bench.empty();
+        for (const AxisValue &value : axis.values)
+            LSQCA_REQUIRE(
+                !value.bench.empty() == hasBench,
+                "axis \"" + axis.label +
+                    "\" mixes benchmark and non-benchmark values");
+        if (hasBench) {
+            LSQCA_REQUIRE(benchAxis == spec.axes.size(),
+                          "spec has more than one benchmark axis");
+            benchAxis = a;
+        }
+    }
+    LSQCA_REQUIRE(benchAxis != spec.axes.size(),
+                  "spec \"" + spec.name +
+                      "\" has no benchmark axis (no value sets "
+                      "\"bench\")");
+
+    std::vector<ExpandedJob> jobs;
+    std::vector<std::size_t> index(spec.axes.size(), 0);
+    std::vector<std::string> fragments(spec.axes.size());
+    for (;;) {
+        const AxisValue &benchValue =
+            spec.axes[benchAxis].values[index[benchAxis]];
+        ExpandedJob job;
+        job.bench = benchValue.bench;
+        job.params =
+            registry.canonicalParams(job.bench, benchValue.params);
+
+        ArchConfig cfg;
+        if (!spec.archBase.isNull())
+            applyArchPatch(cfg, spec.archBase);
+        std::int64_t prefix = 0;
+        for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+            const AxisValue &value = spec.axes[a].values[index[a]];
+            if (value.prefix)
+                prefix = *value.prefix;
+            if (!value.translate.isNull())
+                applyTranslatePatch(job.translate, value.translate);
+            Json resolvedArch = value.arch;
+            if (!value.arch.isNull()) {
+                resolvedArch = resolveHotFraction(
+                    value.arch, registry, job.bench, job.params);
+                applyArchPatch(cfg, resolvedArch);
+            }
+            fragments[a] = valueFragment(value, resolvedArch);
+        }
+        cfg.validate();
+        job.options.arch = cfg;
+        job.options.maxInstructions = prefix;
+        job.options.recordTrace = spec.recordTrace;
+        job.name = renderName(spec.nameTemplate, spec.axes, fragments,
+                              cfg.label());
+        jobs.push_back(std::move(job));
+
+        // Odometer: last axis spins fastest (first axis outermost).
+        std::size_t a = spec.axes.size();
+        for (;;) {
+            if (a == 0)
+                return jobs;
+            --a;
+            if (++index[a] < spec.axes[a].values.size())
+                break;
+            index[a] = 0;
+        }
+    }
+}
+
+SpecRun
+runSpec(const SweepSpec &spec, BenchmarkRegistry &registry,
+        const RunSpecOptions &options)
+{
+    SpecRun run;
+    std::vector<ExpandedJob> all = expandSpec(spec, registry);
+    const auto [begin, end] = options.shard.bounds(all.size());
+    run.expanded.assign(std::make_move_iterator(all.begin() +
+                                                static_cast<std::ptrdiff_t>(begin)),
+                        std::make_move_iterator(all.begin() +
+                                                static_cast<std::ptrdiff_t>(end)));
+
+    // Program resolution happens only for the slice actually run, so a
+    // shard never pays for benchmarks that belong to other machines.
+    run.jobs.reserve(run.expanded.size());
+    for (const ExpandedJob &expanded : run.expanded) {
+        SweepJob job;
+        job.name = expanded.name;
+        job.program = &registry.program(expanded.bench, expanded.params,
+                                        expanded.translate);
+        job.options = expanded.options;
+        run.jobs.push_back(std::move(job));
+    }
+
+    const SweepEngine engine({options.threads});
+    run.report = engine.run(run.jobs);
+
+    SweepReport documented = run.report;
+    if (options.noTiming) {
+        documented.threads = 0;
+        documented.wallSeconds = 0.0;
+        documented.jobSeconds.assign(run.jobs.size(), 0.0);
+    }
+    run.document = benchReport(spec.name, run.jobs, documented);
+    if (!options.shard.isWhole()) {
+        Json shard = Json::object();
+        shard.set("index", options.shard.index);
+        shard.set("count", options.shard.count);
+        shard.set("offset", static_cast<std::int64_t>(begin));
+        shard.set("total", static_cast<std::int64_t>(all.size()));
+        run.document.set("shard", std::move(shard));
+    }
+
+    if (options.writeJson) {
+        std::string fileStem = spec.name;
+        if (!options.shard.isWhole())
+            fileStem += ".shard" + std::to_string(options.shard.index) +
+                        "of" + std::to_string(options.shard.count);
+        run.jsonPath =
+            writeBenchJson(fileStem, run.document, options.outDir);
+        std::cerr << spec.name << ": " << run.jobs.size() << " jobs, "
+                  << run.report.threads << " threads, "
+                  << TextTable::num(run.report.wallSeconds, 3)
+                  << " s -> " << run.jsonPath << "\n";
+    }
+    return run;
+}
+
+Json
+mergeBenchReports(const std::vector<Json> &docs)
+{
+    LSQCA_REQUIRE(!docs.empty(), "merge needs at least one document");
+
+    struct Piece
+    {
+        const Json *doc = nullptr;
+        std::int32_t index = 0;
+        std::int64_t offset = 0;
+    };
+    std::vector<Piece> pieces;
+    std::string bench;
+    std::size_t sharded = 0;
+    std::int32_t count = 0;
+    std::int64_t total = 0;
+    for (const Json &doc : docs) {
+        LSQCA_REQUIRE(doc.isObject(), "BENCH document must be an object");
+        const Json &schema = doc.at("schema");
+        LSQCA_REQUIRE(schema.isString() &&
+                          schema.asString() == kBenchSchema,
+                      std::string("BENCH schema must be \"") +
+                          kBenchSchema + "\"");
+        const std::string docBench = doc.at("bench").asString();
+        if (bench.empty())
+            bench = docBench;
+        LSQCA_REQUIRE(docBench == bench,
+                      "cannot merge different sweeps: \"" + bench +
+                          "\" vs \"" + docBench + "\"");
+        Piece piece;
+        piece.doc = &doc;
+        if (const Json *shard = doc.find("shard")) {
+            ++sharded;
+            piece.index =
+                static_cast<std::int32_t>(shard->at("index").asInt());
+            piece.offset = shard->at("offset").asInt();
+            const auto docCount =
+                static_cast<std::int32_t>(shard->at("count").asInt());
+            const std::int64_t docTotal = shard->at("total").asInt();
+            if (sharded == 1) {
+                count = docCount;
+                total = docTotal;
+            }
+            LSQCA_REQUIRE(docCount == count && docTotal == total,
+                          "shard documents disagree on the sweep "
+                          "partition");
+        }
+        pieces.push_back(piece);
+    }
+    LSQCA_REQUIRE(sharded == 0 || sharded == docs.size(),
+                  "cannot mix sharded and unsharded BENCH documents");
+
+    if (sharded > 0) {
+        LSQCA_REQUIRE(static_cast<std::int32_t>(docs.size()) == count,
+                      "expected " + std::to_string(count) +
+                          " shards, got " + std::to_string(docs.size()));
+        std::sort(pieces.begin(), pieces.end(),
+                  [](const Piece &a, const Piece &b) {
+                      return a.index < b.index;
+                  });
+        for (std::size_t i = 0; i < pieces.size(); ++i)
+            LSQCA_REQUIRE(pieces[i].index ==
+                              static_cast<std::int32_t>(i),
+                          "shard indices must cover 0..count-1 exactly "
+                          "once");
+    }
+
+    std::int32_t threads = 0;
+    double wallSeconds = 0.0;
+    Json entries = Json::array();
+    std::int64_t jobCount = 0;
+    for (const Piece &piece : pieces) {
+        const Json &doc = *piece.doc;
+        if (sharded > 0)
+            LSQCA_REQUIRE(piece.offset == jobCount,
+                          "shard entry counts do not line up with "
+                          "their offsets");
+        threads = std::max(
+            threads,
+            static_cast<std::int32_t>(doc.at("threads").asInt()));
+        wallSeconds += doc.at("wall_seconds").asDouble();
+        const Json &docEntries = doc.at("entries");
+        LSQCA_REQUIRE(docEntries.isArray(),
+                      "BENCH entries must be an array");
+        for (const Json &entry : docEntries.items()) {
+            entries.push(entry);
+            ++jobCount;
+        }
+    }
+    if (sharded > 0)
+        LSQCA_REQUIRE(jobCount == total,
+                      "merged entries do not cover the whole sweep");
+
+    Json merged = Json::object();
+    merged.set("bench", bench);
+    merged.set("schema", kBenchSchema);
+    merged.set("threads", threads);
+    merged.set("jobs", jobCount);
+    merged.set("wall_seconds", wallSeconds);
+    merged.set("entries", std::move(entries));
+    return merged;
+}
+
+} // namespace lsqca::api

@@ -1,0 +1,194 @@
+#ifndef LSQCA_API_SPEC_H
+#define LSQCA_API_SPEC_H
+
+/**
+ * @file
+ * Declarative sweep specifications: an experiment as data.
+ *
+ * A SweepSpec describes a sweep as an ordered list of axes whose
+ * cartesian product (first axis outermost) expands deterministically
+ * into the job vector the SweepEngine runs. Exactly one axis enumerates
+ * benchmarks (registry name + parameter object + optional instruction
+ * prefix); the others patch the architecture configuration — either
+ * explicit point lists (partial ArchConfig objects) or scalar grid
+ * shorthand (`{"axis": "factories", "values": [1, 2, 4]}`). Later axes
+ * override earlier ones field-by-field, so a spec composes like the
+ * nested loops it replaces.
+ *
+ * Job names come from a template (`"{benchmark}/{machine}/f{factories}"`)
+ * whose placeholders are axis labels; each axis value contributes a
+ * fragment (explicit `"name"`, or a derived default). `{arch}` expands
+ * to the final merged config's label().
+ *
+ * Sharding: a contiguous `i/N` slice of the expanded vector. Shards
+ * partition the job list exactly, so the merged BENCH document equals
+ * the unsharded one (byte-identical under --no-timing).
+ *
+ * JSON schema: `lsqca-spec-v1`, documented in docs/SPEC.md with
+ * runnable examples under specs/.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "common/json.h"
+#include "sim/simulator.h"
+#include "sweep/sweep.h"
+#include "translate/translate.h"
+
+namespace lsqca::api {
+
+/** One cell of one axis: a partial assignment merged into a point. */
+struct AxisValue
+{
+    /** Name fragment for the template ("" = derived default). */
+    std::string name;
+    /** Benchmark registry name ("" on non-benchmark axes). */
+    std::string bench;
+    /** Benchmark parameters (null = defaults). */
+    Json params;
+    /** Instruction prefix override (maxInstructions). */
+    std::optional<std::int64_t> prefix;
+    /**
+     * Partial ArchConfig patch (null = none). `"hybrid_fraction"` may
+     * be the string "hot": it resolves to the benchmark's hot-set
+     * fraction at expansion time (Fig. 15's pinned registers).
+     */
+    Json arch;
+    /** Partial TranslateOptions patch (null = none). */
+    Json translate;
+    /** Set when parsed from scalar grid shorthand (round-trips). */
+    Json scalar;
+};
+
+/** An ordered sweep dimension. */
+struct SweepAxis
+{
+    /** Unique label; the template placeholder `{label}`. */
+    std::string label;
+    std::vector<AxisValue> values;
+};
+
+/** A declarative sweep: benchmarks x architecture grid x options. */
+struct SweepSpec
+{
+    /** Sweep name; BENCH output lands in BENCH_<name>.json. */
+    std::string name;
+    /** Job-name template ("" = join all fragments with '/'). */
+    std::string nameTemplate;
+    /** Partial ArchConfig applied to every point before axis patches. */
+    Json archBase;
+    /** Record memory/magic traces on every job. */
+    bool recordTrace = false;
+    /** Outermost axis first. */
+    std::vector<SweepAxis> axes;
+
+    /** Parse a lsqca-spec-v1 document (strict). @throws ConfigError. */
+    static SweepSpec fromJson(const Json &doc);
+
+    /** fromJson(Json::load(path)). @throws ConfigError. */
+    static SweepSpec load(const std::string &path);
+
+    /** Serialize back to a lsqca-spec-v1 document. */
+    Json toJson() const;
+};
+
+/** One expanded sweep point, before program resolution. */
+struct ExpandedJob
+{
+    std::string name;
+    std::string bench;
+    /** Canonical benchmark parameters (defaults filled in). */
+    Json params;
+    TranslateOptions translate;
+    SimOptions options;
+};
+
+/** A contiguous `index/count` slice of an expanded job vector. */
+struct ShardRange
+{
+    std::int32_t index = 0;
+    std::int32_t count = 1;
+
+    bool isWhole() const { return count <= 1; }
+
+    /** Parse "i/N" with 0 <= i < N. @throws ConfigError. */
+    static ShardRange parse(const std::string &text);
+
+    /** [begin, end) of this shard over @p total jobs. */
+    std::pair<std::size_t, std::size_t> bounds(std::size_t total) const;
+};
+
+/**
+ * Parse a `--threads` value: an integer worker count in [0, 4096]
+ * (0 = hardware concurrency). Shared by every sweep front end so the
+ * flag can't drift between the CLI and the benches.
+ * @throws ConfigError.
+ */
+std::int32_t parseThreadCount(const std::string &text);
+
+/**
+ * Expand the spec's cartesian product into the full job vector, in
+ * deterministic order (first axis outermost). Validates benchmark
+ * names/params against @p registry and resolves "hot" hybrid
+ * fractions; programs are not synthesized.
+ */
+std::vector<ExpandedJob> expandSpec(const SweepSpec &spec,
+                                    const BenchmarkRegistry &registry);
+
+/** Options for runSpec. */
+struct RunSpecOptions
+{
+    /** Sweep workers; 0 = hardware concurrency. */
+    std::int32_t threads = 0;
+    /** Where BENCH_<name>.json lands. */
+    std::string outDir = "bench/out";
+    /** Contiguous slice to run (whole sweep by default). */
+    ShardRange shard;
+    /**
+     * Zero wall-clock fields and the thread count in the BENCH
+     * document, making output deterministic (shard-merge equals the
+     * unsharded run byte-for-byte).
+     */
+    bool noTiming = false;
+    /** Write BENCH_<name>.json (and log a summary line to stderr). */
+    bool writeJson = true;
+};
+
+/** Outcome of runSpec: the slice run, its results, and the report. */
+struct SpecRun
+{
+    /** The expanded jobs actually run (post-shard slice). */
+    std::vector<ExpandedJob> expanded;
+    /** Jobs handed to the engine (programs owned by the registry). */
+    std::vector<SweepJob> jobs;
+    SweepReport report;
+    /** The BENCH document (carries shard info when sharded). */
+    Json document;
+    /** Where the document landed ("" when writeJson was off). */
+    std::string jsonPath;
+};
+
+/**
+ * The single entry point every sweep goes through: expand, slice,
+ * resolve programs via @p registry (memoized translation), fan out
+ * over the SweepEngine, and build/write the BENCH document.
+ */
+SpecRun runSpec(const SweepSpec &spec, BenchmarkRegistry &registry,
+                const RunSpecOptions &options = {});
+
+/**
+ * Merge shard BENCH documents back into the unsharded document: shard
+ * slices are validated to partition the sweep (every index 0..N-1
+ * exactly once), entries concatenate in shard order, wall-clock sums,
+ * and the shard marker is dropped. Documents without shard markers
+ * concatenate in argument order.
+ */
+Json mergeBenchReports(const std::vector<Json> &docs);
+
+} // namespace lsqca::api
+
+#endif // LSQCA_API_SPEC_H

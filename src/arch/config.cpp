@@ -17,6 +17,19 @@ samKindName(SamKind kind)
     return "?";
 }
 
+SamKind
+samKindFromName(const std::string &name)
+{
+    if (name == "point")
+        return SamKind::Point;
+    if (name == "line")
+        return SamKind::Line;
+    if (name == "conventional")
+        return SamKind::Conventional;
+    throw ConfigError("unknown SAM kind \"" + name +
+                      "\" (expected point|line|conventional)");
+}
+
 const char *
 placementPolicyName(PlacementPolicy policy)
 {
@@ -25,6 +38,17 @@ placementPolicyName(PlacementPolicy policy)
       case PlacementPolicy::Interleaved: return "interleaved";
     }
     return "?";
+}
+
+PlacementPolicy
+placementPolicyFromName(const std::string &name)
+{
+    if (name == "row-major")
+        return PlacementPolicy::RowMajor;
+    if (name == "interleaved")
+        return PlacementPolicy::Interleaved;
+    throw ConfigError("unknown placement policy \"" + name +
+                      "\" (expected row-major|interleaved)");
 }
 
 std::int32_t

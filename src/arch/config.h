@@ -24,6 +24,9 @@ enum class SamKind : std::uint8_t
 /** Human-readable floorplan name. */
 const char *samKindName(SamKind kind);
 
+/** Inverse of samKindName. @throws ConfigError on unknown names. */
+SamKind samKindFromName(const std::string &name);
+
 /**
  * Initial data layout inside a SAM bank (the paper's "strategic data
  * allocation" future-work axis, Sec. I).
@@ -43,6 +46,9 @@ enum class PlacementPolicy : std::uint8_t
 
 /** Human-readable placement-policy name. */
 const char *placementPolicyName(PlacementPolicy policy);
+
+/** Inverse of placementPolicyName. @throws ConfigError. */
+PlacementPolicy placementPolicyFromName(const std::string &name);
 
 /**
  * Primitive-operation latencies in code beats (DESIGN.md §4.1).

@@ -3,8 +3,10 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "common/error.h"
 
@@ -49,6 +51,278 @@ appendDouble(std::string &out, double v)
     out.append(buf, res.ptr);
 }
 
+/** Recursive-descent parser over a string with line:column errors. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Json
+    document()
+    {
+        skipWs();
+        Json value = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        throw ConfigError("JSON parse error at " + std::to_string(line) +
+                          ":" + std::to_string(col) + ": " + msg);
+    }
+
+    bool
+    atEnd() const
+    {
+        return pos_ >= text_.size();
+    }
+
+    char
+    peek() const
+    {
+        if (atEnd())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char
+    next()
+    {
+        const char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void
+    skipWs()
+    {
+        while (!atEnd()) {
+            const char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + peek() +
+                 "'");
+        ++pos_;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Json
+    parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return Json(parseString());
+          case 't':
+            if (consumeWord("true"))
+                return Json(true);
+            fail("invalid literal");
+          case 'f':
+            if (consumeWord("false"))
+                return Json(false);
+            fail("invalid literal");
+          case 'n':
+            if (consumeWord("null"))
+                return Json();
+            fail("invalid literal");
+          default: return parseNumber();
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json obj = Json::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        for (;;) {
+            skipWs();
+            if (peek() != '"')
+                fail("expected object key string");
+            std::string key = parseString();
+            if (obj.contains(key))
+                fail("duplicate object key \"" + key + "\"");
+            skipWs();
+            expect(':');
+            skipWs();
+            obj.set(key, parseValue());
+            skipWs();
+            const char c = next();
+            if (c == '}')
+                return obj;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json arr = Json::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        for (;;) {
+            skipWs();
+            arr.push(parseValue());
+            skipWs();
+            const char c = next();
+            if (c == ']')
+                return arr;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            const char c = next();
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char esc = next();
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                std::uint32_t code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = next();
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<std::uint32_t>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<std::uint32_t>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<std::uint32_t>(h - 'A' + 10);
+                    else
+                        fail("invalid \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs are
+                // passed through as two 3-byte sequences; the writer
+                // only ever emits \u00xx control escapes).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default: fail("invalid escape sequence");
+            }
+        }
+    }
+
+    Json
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (!atEnd() && peek() == '-')
+            ++pos_;
+        bool integral = true;
+        while (!atEnd()) {
+            const char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start || (pos_ == start + 1 && text_[start] == '-'))
+            fail("invalid number");
+        // RFC 8259: no leading zeros ("01" is invalid JSON).
+        const std::size_t digits =
+            text_[start] == '-' ? start + 1 : start;
+        if (digits + 1 < pos_ && text_[digits] == '0' &&
+            text_[digits + 1] >= '0' && text_[digits + 1] <= '9') {
+            pos_ = start;
+            fail("leading zeros are not allowed");
+        }
+        const char *first = text_.data() + start;
+        const char *last = text_.data() + pos_;
+        if (integral) {
+            std::int64_t value = 0;
+            const auto res = std::from_chars(first, last, value);
+            if (res.ec == std::errc() && res.ptr == last)
+                return Json(value);
+            // Fall through: out-of-range integers parse as doubles.
+        }
+        double value = 0.0;
+        const auto res = std::from_chars(first, last, value);
+        if (res.ec != std::errc() || res.ptr != last) {
+            pos_ = start;
+            fail("invalid number");
+        }
+        return Json(value);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
 } // namespace
 
 Json
@@ -73,6 +347,127 @@ Json::Json(double v) : kind_(Kind::Double), dbl_(v) {}
 Json::Json(std::int64_t v) : kind_(Kind::Int), int_(v) {}
 Json::Json(std::int32_t v) : kind_(Kind::Int), int_(v) {}
 Json::Json(bool v) : kind_(Kind::Bool), bool_(v) {}
+
+Json
+Json::parse(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+Json
+Json::load(const std::string &path)
+{
+    std::ifstream file(path);
+    LSQCA_REQUIRE(file.good(), "cannot open for reading: " + path);
+    std::ostringstream text;
+    text << file.rdbuf();
+    try {
+        return parse(text.str());
+    } catch (const ConfigError &e) {
+        throw ConfigError(path + ": " + e.what());
+    }
+}
+
+const std::string &
+Json::asString() const
+{
+    LSQCA_REQUIRE(kind_ == Kind::String, "JSON value is not a string");
+    return str_;
+}
+
+bool
+Json::asBool() const
+{
+    LSQCA_REQUIRE(kind_ == Kind::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    if (kind_ == Kind::Int)
+        return int_;
+    if (kind_ == Kind::Double) {
+        // Range-check before the cast: int64 conversion of an
+        // out-of-range double is undefined behavior.
+        LSQCA_REQUIRE(dbl_ >= -9223372036854775808.0 &&
+                          dbl_ < 9223372036854775808.0,
+                      "JSON number is out of integer range");
+        const auto as_int = static_cast<std::int64_t>(dbl_);
+        LSQCA_REQUIRE(static_cast<double>(as_int) == dbl_,
+                      "JSON number is not an integer");
+        return as_int;
+    }
+    throw ConfigError("JSON value is not an integer");
+}
+
+double
+Json::asDouble() const
+{
+    if (kind_ == Kind::Int)
+        return static_cast<double>(int_);
+    LSQCA_REQUIRE(kind_ == Kind::Double, "JSON value is not a number");
+    return dbl_;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    LSQCA_REQUIRE(kind_ == Kind::Object, "JSON value is not an object");
+    return members_;
+}
+
+const std::vector<Json> &
+Json::items() const
+{
+    LSQCA_REQUIRE(kind_ == Kind::Array, "JSON value is not an array");
+    return items_;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    LSQCA_REQUIRE(kind_ == Kind::Object, "JSON value is not an object");
+    for (const auto &member : members_)
+        if (member.first == key)
+            return &member.second;
+    return nullptr;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Json *value = find(key);
+    LSQCA_REQUIRE(value != nullptr, "missing JSON key \"" + key + "\"");
+    return *value;
+}
+
+std::size_t
+Json::size() const
+{
+    if (kind_ == Kind::Object)
+        return members_.size();
+    if (kind_ == Kind::Array)
+        return items_.size();
+    return 0;
+}
+
+bool
+Json::operator==(const Json &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null: return true;
+      case Kind::String: return str_ == other.str_;
+      case Kind::Double: return dbl_ == other.dbl_;
+      case Kind::Int: return int_ == other.int_;
+      case Kind::Bool: return bool_ == other.bool_;
+      case Kind::Object: return members_ == other.members_;
+      case Kind::Array: return items_ == other.items_;
+    }
+    return false;
+}
 
 Json &
 Json::set(const std::string &key, Json value)

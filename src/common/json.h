@@ -3,10 +3,14 @@
 
 /**
  * @file
- * Minimal ordered JSON document builder for machine-readable bench
- * output (`bench/out/BENCH_*.json`). Insertion order of object keys is
- * preserved so diffs between runs stay line-stable; numbers are emitted
- * with enough precision to round-trip doubles.
+ * Minimal ordered JSON document type for machine-readable bench output
+ * (`bench/out/BENCH_<name>.json`) and declarative experiment specs
+ * (the `specs/` directory). Insertion order of object keys is preserved so
+ * diffs between runs stay line-stable; numbers are emitted with enough
+ * precision to round-trip doubles. parse(dump(x)) == x for any x the
+ * parser produced; for built documents the value round-trips but the
+ * numeric kind may not (a whole-valued Double dumps as "5" and
+ * reparses as Int, and non-finite doubles dump as null).
  */
 
 #include <cstdint>
@@ -34,8 +38,59 @@ class Json
     Json(std::int32_t v);
     Json(bool v);
 
+    /**
+     * Parse a JSON document (strict RFC-8259 subset: no comments, no
+     * trailing commas). @throws ConfigError with a line:column position
+     * on malformed input. Integers without fraction/exponent that fit
+     * an int64 parse as Int; everything else numeric parses as Double.
+     */
+    static Json parse(const std::string &text);
+
+    /** parse() the contents of @p path. @throws ConfigError. */
+    static Json load(const std::string &path);
+
+    bool isNull() const { return kind_ == Kind::Null; }
     bool isObject() const { return kind_ == Kind::Object; }
     bool isArray() const { return kind_ == Kind::Array; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isInt() const { return kind_ == Kind::Int; }
+    /** Int or Double. */
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+
+    /** String payload. @throws ConfigError when not a string. */
+    const std::string &asString() const;
+    /** Bool payload. @throws ConfigError when not a bool. */
+    bool asBool() const;
+    /** Integer payload; exact doubles allowed. @throws ConfigError. */
+    std::int64_t asInt() const;
+    /** Numeric payload widened to double. @throws ConfigError. */
+    double asDouble() const;
+
+    /** Object members in insertion order. @throws on non-objects. */
+    const std::vector<std::pair<std::string, Json>> &members() const;
+    /** Array items. @throws ConfigError on non-arrays. */
+    const std::vector<Json> &items() const;
+
+    /** Member lookup; nullptr when absent. @throws on non-objects. */
+    const Json *find(const std::string &key) const;
+    /** True when the object has @p key. @throws on non-objects. */
+    bool contains(const std::string &key) const
+    {
+        return find(key) != nullptr;
+    }
+    /** Member access. @throws ConfigError when absent. */
+    const Json &at(const std::string &key) const;
+
+    /** Object member count / array length / 0 for scalars. */
+    std::size_t size() const;
+
+    /** Structural equality (key order significant for objects). */
+    bool operator==(const Json &other) const;
+    bool operator!=(const Json &other) const { return !(*this == other); }
 
     /** Set @p key on an object (insertion order preserved). */
     Json &set(const std::string &key, Json value);

@@ -107,6 +107,13 @@ struct SelectLayout
 /** Compute the SELECT register layout for lattice width @p width. */
 SelectLayout selectLayout(std::int32_t width);
 
+/**
+ * Fraction of a SELECT instance's qubits that are control+temporal
+ * registers — the "hot" working set the Fig. 15 hybrid layouts pin
+ * into the conventional region.
+ */
+double selectHotFraction(std::int32_t width);
+
 /** Options for SELECT synthesis. */
 struct SelectParams
 {

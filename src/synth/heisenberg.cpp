@@ -52,4 +52,13 @@ selectLayout(std::int32_t width)
     return layout;
 }
 
+double
+selectHotFraction(std::int32_t width)
+{
+    const SelectLayout layout = selectLayout(width);
+    return static_cast<double>(layout.controlBits +
+                               layout.temporalBits) /
+           static_cast<double>(layout.totalQubits);
+}
+
 } // namespace lsqca

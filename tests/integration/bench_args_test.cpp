@@ -1,0 +1,79 @@
+/**
+ * @file
+ * bench::parseArgs must fail fast: an unknown flag or a malformed
+ * number exits non-zero instead of silently running the wrong
+ * experiment (the pre-refactor parser ignored unknown arguments and
+ * atoi'd "--threads x" to zero workers).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_util.h"
+
+namespace lsqca::bench {
+namespace {
+
+BenchArgs
+parse(std::vector<const char *> argv)
+{
+    argv.insert(argv.begin(), "bench");
+    return parseArgs(static_cast<int>(argv.size()),
+                     const_cast<char **>(argv.data()));
+}
+
+TEST(BenchArgs, ParsesTheSupportedFlags)
+{
+    const BenchArgs args =
+        parse({"--csv", "csvdir", "--full", "--threads", "8", "--out",
+               "outdir", "--smoke", "--shard", "1/4"});
+    ASSERT_TRUE(args.csvDir.has_value());
+    EXPECT_EQ(*args.csvDir, "csvdir");
+    EXPECT_TRUE(args.full);
+    EXPECT_EQ(args.threads, 8);
+    EXPECT_EQ(args.outDir, "outdir");
+    EXPECT_TRUE(args.smoke);
+    EXPECT_EQ(args.shard.index, 1);
+    EXPECT_EQ(args.shard.count, 4);
+}
+
+TEST(BenchArgsDeathTest, RejectsUnknownArguments)
+{
+    EXPECT_EXIT(parse({"--theads", "4"}),
+                testing::ExitedWithCode(2), "unknown argument");
+    EXPECT_EXIT(parse({"extra"}), testing::ExitedWithCode(2),
+                "unknown argument");
+}
+
+TEST(BenchArgsDeathTest, RejectsMalformedThreads)
+{
+    // atoi("x") == 0 used to silently fall back to one worker.
+    EXPECT_EXIT(parse({"--threads", "x"}),
+                testing::ExitedWithCode(2), "--threads expects");
+    EXPECT_EXIT(parse({"--threads", "4x"}),
+                testing::ExitedWithCode(2), "--threads expects");
+    EXPECT_EXIT(parse({"--threads", "-1"}),
+                testing::ExitedWithCode(2), "--threads expects");
+    EXPECT_EXIT(parse({"--threads", "99999999999999999999"}),
+                testing::ExitedWithCode(2), "--threads expects");
+}
+
+TEST(BenchArgsDeathTest, RejectsMissingValues)
+{
+    EXPECT_EXIT(parse({"--csv"}), testing::ExitedWithCode(2),
+                "missing value");
+    EXPECT_EXIT(parse({"--out"}), testing::ExitedWithCode(2),
+                "missing value");
+    EXPECT_EXIT(parse({"--threads"}), testing::ExitedWithCode(2),
+                "missing value");
+}
+
+TEST(BenchArgsDeathTest, RejectsBadShards)
+{
+    EXPECT_EXIT(parse({"--shard", "2/2"}), testing::ExitedWithCode(2),
+                "shard");
+    EXPECT_EXIT(parse({"--shard", "nope"}), testing::ExitedWithCode(2),
+                "shard");
+}
+
+} // namespace
+} // namespace lsqca::bench

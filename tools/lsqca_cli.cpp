@@ -1,0 +1,286 @@
+/**
+ * @file
+ * lsqca — the declarative experiment driver. Turns spec files
+ * (the `specs/` directory, schema lsqca-spec-v1) into sweeps without
+ * writing or compiling any C++:
+ *
+ *   lsqca run specs/fig13.json            # expand + simulate + BENCH json
+ *   lsqca run specs/smoke.json --shard 0/4 --no-timing
+ *   lsqca expand specs/fig13.json         # dry-run the job list
+ *   lsqca list                            # registry + builtin specs
+ *   lsqca merge --out all.json BENCH_smoke.shard*.json
+ *   lsqca spec fig13                      # dump a builtin spec as JSON
+ *
+ * Shards are contiguous slices of the expanded job vector; merged
+ * shard BENCH documents are byte-identical to the unsharded run when
+ * both use --no-timing. See docs/SPEC.md for the spec schema.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/paper_specs.h"
+#include "api/registry.h"
+#include "api/serialize.h"
+#include "api/spec.h"
+#include "common/error.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace lsqca;
+using namespace lsqca::api;
+
+int
+usage(std::ostream &out, int code)
+{
+    out <<
+        "usage: lsqca <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  run <spec>          expand and simulate a sweep spec (a\n"
+        "                      .json path, or a builtin name)\n"
+        "      --threads N       sweep workers (0 = hardware)\n"
+        "      --out DIR         BENCH output dir (default bench/out)\n"
+        "      --shard i/N       run a contiguous slice of the sweep\n"
+        "      --no-timing       zero wall-clock fields (deterministic"
+        " output)\n"
+        "      --full            builtin specs only: drop prefixes\n"
+        "  expand <spec>       validate a spec and print its job list\n"
+        "      --shard i/N       print only that slice\n"
+        "      --full            builtin specs only: drop prefixes\n"
+        "  list                registered benchmarks and builtin specs\n"
+        "  merge <json...>     merge shard BENCH documents\n"
+        "      --out FILE        write merged doc (default stdout)\n"
+        "  spec <name>         print a builtin spec (fig13|fig14|fig15|"
+        "ablation|smoke)\n"
+        "      --full            drop steady-state prefixes\n";
+    return code;
+}
+
+[[noreturn]] void
+badArg(const std::string &message)
+{
+    throw ConfigError(message + " (see `lsqca --help`)");
+}
+
+const char *
+needValue(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        badArg(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+}
+
+/** Load a spec file, or resolve a builtin name (fig13, smoke, ...). */
+SweepSpec
+loadSpecArg(const std::string &arg, bool full)
+{
+    if (arg.size() > 5 && arg.substr(arg.size() - 5) == ".json") {
+        if (full)
+            badArg("--full applies only to builtin spec names; spec "
+                   "files encode their own prefixes");
+        return SweepSpec::load(arg);
+    }
+    return specs::byName(arg, full);
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    std::string specArg;
+    bool full = false;
+    RunSpecOptions options;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads")
+            options.threads =
+                parseThreadCount(needValue(argc, argv, i));
+        else if (arg == "--out")
+            options.outDir = needValue(argc, argv, i);
+        else if (arg == "--shard")
+            options.shard = ShardRange::parse(needValue(argc, argv, i));
+        else if (arg == "--no-timing")
+            options.noTiming = true;
+        else if (arg == "--full")
+            full = true;
+        else if (!arg.empty() && arg[0] == '-')
+            badArg("unknown run option " + arg);
+        else if (specArg.empty())
+            specArg = arg;
+        else
+            badArg("run takes exactly one spec");
+    }
+    if (specArg.empty())
+        badArg("run needs a spec file");
+
+    const SweepSpec spec = loadSpecArg(specArg, full);
+    BenchmarkRegistry registry = BenchmarkRegistry::paper();
+    const SpecRun run = runSpec(spec, registry, options);
+
+    TextTable table({"name", "cpi", "exec_beats", "density"});
+    for (std::size_t i = 0; i < run.jobs.size(); ++i) {
+        const SimResult &r = run.report.results[i];
+        table.addRow({run.jobs[i].name, TextTable::num(r.cpi, 3),
+                      std::to_string(r.execBeats),
+                      TextTable::num(r.density(), 3)});
+    }
+    std::cout << table.render("lsqca run: " + spec.name);
+    return 0;
+}
+
+int
+cmdExpand(int argc, char **argv)
+{
+    std::string specArg;
+    bool full = false;
+    ShardRange shard;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--shard")
+            shard = ShardRange::parse(needValue(argc, argv, i));
+        else if (arg == "--full")
+            full = true;
+        else if (!arg.empty() && arg[0] == '-')
+            badArg("unknown expand option " + arg);
+        else if (specArg.empty())
+            specArg = arg;
+        else
+            badArg("expand takes exactly one spec");
+    }
+    if (specArg.empty())
+        badArg("expand needs a spec file");
+
+    const SweepSpec spec = loadSpecArg(specArg, full);
+    const BenchmarkRegistry registry = BenchmarkRegistry::paper();
+    const std::vector<ExpandedJob> jobs = expandSpec(spec, registry);
+    const auto [begin, end] = shard.bounds(jobs.size());
+
+    TextTable table({"#", "name", "bench", "params", "machine",
+                     "prefix"});
+    for (std::size_t i = begin; i < end; ++i) {
+        const ExpandedJob &job = jobs[i];
+        table.addRow({std::to_string(i), job.name, job.bench,
+                      job.params.dump(0), job.options.arch.label(),
+                      std::to_string(job.options.maxInstructions)});
+    }
+    std::cout << table.render("lsqca expand: " + spec.name + " (" +
+                              std::to_string(end - begin) + " of " +
+                              std::to_string(jobs.size()) + " jobs)");
+    return 0;
+}
+
+int
+cmdList()
+{
+    const BenchmarkRegistry registry = BenchmarkRegistry::paper();
+    TextTable benches({"benchmark", "default params", "summary"});
+    for (const BenchmarkEntry &entry : registry.entries())
+        benches.addRow({entry.name,
+                        entry.canonicalize(Json()).dump(0),
+                        entry.summary});
+    std::cout << benches.render("registered benchmarks") << "\n";
+
+    TextTable builtin({"spec", "jobs", "axes"});
+    for (const char *name :
+         {"fig13", "fig14", "fig15", "ablation", "smoke"}) {
+        const SweepSpec spec = specs::byName(name);
+        std::string shape;
+        for (const SweepAxis &axis : spec.axes) {
+            if (!shape.empty())
+                shape += " x ";
+            shape += axis.label + "(" +
+                     std::to_string(axis.values.size()) + ")";
+        }
+        builtin.addRow(
+            {name,
+             std::to_string(expandSpec(spec, registry).size()), shape});
+    }
+    std::cout << builtin.render("builtin specs (lsqca spec <name>)");
+    return 0;
+}
+
+int
+cmdMerge(int argc, char **argv)
+{
+    std::string outPath;
+    std::vector<std::string> paths;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out")
+            outPath = needValue(argc, argv, i);
+        else if (!arg.empty() && arg[0] == '-')
+            badArg("unknown merge option " + arg);
+        else
+            paths.push_back(arg);
+    }
+    if (paths.empty())
+        badArg("merge needs at least one BENCH json");
+
+    std::vector<Json> docs;
+    docs.reserve(paths.size());
+    for (const std::string &path : paths)
+        docs.push_back(Json::load(path));
+    const Json merged = mergeBenchReports(docs);
+    if (outPath.empty()) {
+        std::cout << merged.dump();
+    } else {
+        merged.write(outPath);
+        std::cerr << "merged " << paths.size() << " documents -> "
+                  << outPath << "\n";
+    }
+    return 0;
+}
+
+int
+cmdSpec(int argc, char **argv)
+{
+    std::string name;
+    bool full = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--full")
+            full = true;
+        else if (!arg.empty() && arg[0] == '-')
+            badArg("unknown spec option " + arg);
+        else if (name.empty())
+            name = arg;
+        else
+            badArg("spec takes exactly one name");
+    }
+    if (name.empty())
+        badArg("spec needs a builtin name");
+    std::cout << specs::byName(name, full).toJson().dump();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(std::cerr, 2);
+    const std::string command = argv[1];
+    if (command == "--help" || command == "-h" || command == "help")
+        return usage(std::cout, 0);
+    try {
+        if (command == "run")
+            return cmdRun(argc, argv);
+        if (command == "expand")
+            return cmdExpand(argc, argv);
+        if (command == "list")
+            return cmdList();
+        if (command == "merge")
+            return cmdMerge(argc, argv);
+        if (command == "spec")
+            return cmdSpec(argc, argv);
+        std::cerr << "lsqca: unknown command \"" << command << "\"\n";
+        return usage(std::cerr, 2);
+    } catch (const std::exception &e) {
+        std::cerr << "lsqca: " << e.what() << "\n";
+        return 1;
+    }
+}
