@@ -28,7 +28,8 @@ namespace lsqca::bench {
 
 /**
  * Parse "--csv <dir>", "--full", "--threads N", "--out <dir>",
- * "--smoke", and "--shard i/N" from argv. Unknown arguments, missing
+ * "--smoke", "--shard i/N", "--timeout-seconds S", and
+ * "--seed-check <fingerprint>" from argv. Unknown arguments, missing
  * values, and malformed numbers are fatal (exit 2) — a typo must not
  * silently run a different experiment.
  */
@@ -44,6 +45,10 @@ struct BenchArgs
     bool smoke = false;
     /** Contiguous sweep slice; tables are skipped when sharded. */
     api::ShardRange shard;
+    /** Abort (exit 124) past this wall budget (0 = no limit). */
+    double timeoutSeconds = 0.0;
+    /** Expected shard fingerprint ("" = unchecked); see docs/SERVICE.md. */
+    std::string seedCheck;
 };
 
 [[noreturn]] inline void
@@ -51,7 +56,8 @@ argError(const std::string &message)
 {
     std::cerr << "error: " << message
               << "\n(supported: --csv <dir>, --full, --threads N,"
-                 " --out <dir>, --smoke, --shard i/N)\n";
+                 " --out <dir>, --smoke, --shard i/N,"
+                 " --timeout-seconds S, --seed-check <fingerprint>)\n";
     std::exit(2);
 }
 
@@ -85,6 +91,19 @@ parseArgs(int argc, char **argv)
             } catch (const ConfigError &e) {
                 argError(e.what());
             }
+        } else if (std::strcmp(argv[i], "--timeout-seconds") == 0) {
+            try {
+                args.timeoutSeconds =
+                    api::parseTimeoutSeconds(value(i));
+            } catch (const ConfigError &e) {
+                argError(e.what());
+            }
+        } else if (std::strcmp(argv[i], "--seed-check") == 0) {
+            try {
+                args.seedCheck = api::parseFingerprintArg(value(i));
+            } catch (const ConfigError &e) {
+                argError(e.what());
+            }
         } else {
             argError(std::string("unknown argument: ") + argv[i]);
         }
@@ -111,6 +130,8 @@ runSpec(const api::SweepSpec &spec, const BenchArgs &args)
     options.threads = args.threads;
     options.outDir = args.outDir;
     options.shard = args.shard;
+    options.timeoutSeconds = args.timeoutSeconds;
+    options.seedCheck = args.seedCheck;
     bench_run.run = api::runSpec(spec, bench_run.registry, options);
     return bench_run;
 }

@@ -1,12 +1,19 @@
 #include "api/spec.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
 #include <iostream>
 #include <limits>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 
 #include "api/json_reader.h"
 #include "api/serialize.h"
 #include "common/error.h"
+#include "common/hash.h"
 #include "common/table.h"
 
 namespace lsqca::api {
@@ -301,6 +308,33 @@ parseThreadCount(const std::string &text)
     }
 }
 
+double
+parseTimeoutSeconds(const std::string &text)
+{
+    try {
+        std::size_t used = 0;
+        const double seconds = std::stod(text, &used);
+        LSQCA_REQUIRE(used == text.size() && seconds > 0.0 &&
+                          seconds <= 1e9,
+                      "bad timeout");
+        return seconds;
+    } catch (const std::exception &) {
+        throw ConfigError(
+            "--timeout-seconds expects a number in (0, 1e9], got \"" +
+            text + "\"");
+    }
+}
+
+std::string
+parseFingerprintArg(const std::string &text)
+{
+    LSQCA_REQUIRE(isFingerprint(text),
+                  "--seed-check expects a 16-hex-digit shard "
+                  "fingerprint, got \"" +
+                      text + "\"");
+    return text;
+}
+
 std::pair<std::size_t, std::size_t>
 ShardRange::bounds(std::size_t total) const
 {
@@ -391,12 +425,136 @@ expandSpec(const SweepSpec &spec, const BenchmarkRegistry &registry)
     }
 }
 
+Json
+shardManifest(const SweepSpec &spec,
+              const std::vector<ExpandedJob> &jobs,
+              const ShardRange &shard, bool noTiming)
+{
+    const auto [begin, end] = shard.bounds(jobs.size());
+    Json manifest = Json::object();
+    manifest.set("schema", "lsqca-shard-v1");
+    manifest.set("bench_schema", kBenchSchema);
+    manifest.set("engine_epoch", kEngineEpoch);
+    manifest.set("sweep", spec.name);
+    Json slice = Json::object();
+    slice.set("index", shard.index);
+    slice.set("count", shard.count);
+    slice.set("offset", static_cast<std::int64_t>(begin));
+    slice.set("total", static_cast<std::int64_t>(jobs.size()));
+    manifest.set("shard", std::move(slice));
+    manifest.set("no_timing", noTiming);
+    Json jobsDoc = Json::array();
+    for (std::size_t i = begin; i < end; ++i) {
+        const ExpandedJob &job = jobs[i];
+        Json jobDoc = Json::object();
+        jobDoc.set("name", job.name);
+        jobDoc.set("bench", job.bench);
+        jobDoc.set("params", job.params);
+        jobDoc.set("translate", toJson(job.translate));
+        jobDoc.set("options", toJson(job.options));
+        jobsDoc.push(std::move(jobDoc));
+    }
+    manifest.set("jobs", std::move(jobsDoc));
+    return manifest;
+}
+
+std::string
+shardFingerprint(const SweepSpec &spec,
+                 const std::vector<ExpandedJob> &jobs,
+                 const ShardRange &shard, bool noTiming)
+{
+    return contentFingerprint(
+        shardManifest(spec, jobs, shard, noTiming).dump(0));
+}
+
+std::vector<std::string>
+shardFingerprints(const SweepSpec &spec,
+                  const std::vector<ExpandedJob> &jobs,
+                  std::int32_t shardCount, bool noTiming)
+{
+    LSQCA_REQUIRE(shardCount >= 1, "shard count must be >= 1");
+    std::vector<std::string> fingerprints;
+    fingerprints.reserve(static_cast<std::size_t>(shardCount));
+    for (std::int32_t i = 0; i < shardCount; ++i) {
+        ShardRange shard;
+        shard.index = i;
+        shard.count = shardCount;
+        fingerprints.push_back(
+            shardFingerprint(spec, jobs, shard, noTiming));
+    }
+    return fingerprints;
+}
+
+namespace {
+
+/**
+ * Wall-clock abort for worker processes: once armed, a detached-in-
+ * spirit thread _Exit()s the process when the deadline passes before
+ * the owning scope finishes. _Exit (not abort/exception) because the
+ * sweep threads may be anywhere; the orchestrator only needs the
+ * conventional timeout exit code.
+ */
+class Watchdog
+{
+  public:
+    explicit Watchdog(double seconds)
+    {
+        if (seconds <= 0.0)
+            return;
+        armed_ = true;
+        thread_ = std::thread([this, seconds] {
+            std::unique_lock<std::mutex> lock(mutex_);
+            const bool finished = cv_.wait_for(
+                lock, std::chrono::duration<double>(seconds),
+                [this] { return finished_; });
+            if (!finished) {
+                std::cerr << "lsqca: sweep exceeded --timeout-seconds "
+                          << seconds << "; aborting\n";
+                std::_Exit(kTimeoutExitCode);
+            }
+        });
+    }
+
+    ~Watchdog()
+    {
+        if (!armed_)
+            return;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            finished_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+  private:
+    bool armed_ = false;
+    bool finished_ = false;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::thread thread_;
+};
+
+} // namespace
+
 SpecRun
 runSpec(const SweepSpec &spec, BenchmarkRegistry &registry,
         const RunSpecOptions &options)
 {
     SpecRun run;
     std::vector<ExpandedJob> all = expandSpec(spec, registry);
+    if (!options.seedCheck.empty()) {
+        const std::string expanded = shardFingerprint(
+            spec, all, options.shard, options.noTiming);
+        LSQCA_REQUIRE(
+            expanded == options.seedCheck,
+            "--seed-check mismatch: this invocation expands to shard "
+            "fingerprint " +
+                expanded + ", expected " + options.seedCheck +
+                " (the spec file or benchmark registry changed since "
+                "the shard was queued)");
+    }
+    const Watchdog watchdog(options.timeoutSeconds);
     const auto [begin, end] = options.shard.bounds(all.size());
     run.expanded.assign(std::make_move_iterator(all.begin() +
                                                 static_cast<std::ptrdiff_t>(begin)),
@@ -416,6 +574,17 @@ runSpec(const SweepSpec &spec, BenchmarkRegistry &registry,
     }
 
     const SweepEngine engine({options.threads});
+    if (options.dieAfter >= 0 &&
+        static_cast<std::size_t>(options.dieAfter) < run.jobs.size()) {
+        const std::vector<SweepJob> partial(
+            run.jobs.begin(),
+            run.jobs.begin() +
+                static_cast<std::ptrdiff_t>(options.dieAfter));
+        engine.run(partial);
+        std::cerr << "lsqca: --die-after " << options.dieAfter
+                  << ": dying mid-shard (test hook)\n";
+        std::_Exit(kDieAfterExitCode);
+    }
     run.report = engine.run(run.jobs);
 
     SweepReport documented = run.report;
@@ -450,13 +619,21 @@ runSpec(const SweepSpec &spec, BenchmarkRegistry &registry,
 }
 
 Json
-mergeBenchReports(const std::vector<Json> &docs)
+mergeBenchReports(const std::vector<Json> &docs,
+                  const std::vector<std::string> &labels)
 {
     LSQCA_REQUIRE(!docs.empty(), "merge needs at least one document");
+    LSQCA_REQUIRE(labels.empty() || labels.size() == docs.size(),
+                  "merge labels must parallel the documents");
+    const auto labelOf = [&](std::size_t doc) {
+        return labels.empty() ? "document " + std::to_string(doc + 1)
+                              : labels[doc];
+    };
 
     struct Piece
     {
         const Json *doc = nullptr;
+        std::size_t source = 0;
         std::int32_t index = 0;
         std::int64_t offset = 0;
     };
@@ -480,6 +657,7 @@ mergeBenchReports(const std::vector<Json> &docs)
                           "\" vs \"" + docBench + "\"");
         Piece piece;
         piece.doc = &doc;
+        piece.source = pieces.size();
         if (const Json *shard = doc.find("shard")) {
             ++sharded;
             piece.index =
@@ -520,6 +698,12 @@ mergeBenchReports(const std::vector<Json> &docs)
     double wallSeconds = 0.0;
     Json entries = Json::array();
     std::int64_t jobCount = 0;
+    struct FirstSeen
+    {
+        std::size_t source;
+        std::size_t entry;
+    };
+    std::unordered_map<std::string, FirstSeen> seen;
     for (const Piece &piece : pieces) {
         const Json &doc = *piece.doc;
         if (sharded > 0)
@@ -533,9 +717,21 @@ mergeBenchReports(const std::vector<Json> &docs)
         const Json &docEntries = doc.at("entries");
         LSQCA_REQUIRE(docEntries.isArray(),
                       "BENCH entries must be an array");
+        std::size_t position = 0;
         for (const Json &entry : docEntries.items()) {
+            const std::string &name = entry.at("name").asString();
+            const auto [first, inserted] =
+                seen.emplace(name, FirstSeen{piece.source, position});
+            LSQCA_REQUIRE(
+                inserted,
+                "duplicate entry \"" + name + "\": first in " +
+                    labelOf(first->second.source) + " (entry " +
+                    std::to_string(first->second.entry) +
+                    "), again in " + labelOf(piece.source) +
+                    " (entry " + std::to_string(position) + ")");
             entries.push(entry);
             ++jobCount;
+            ++position;
         }
     }
     if (sharded > 0)

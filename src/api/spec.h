@@ -131,6 +131,55 @@ struct ShardRange
 std::int32_t parseThreadCount(const std::string &text);
 
 /**
+ * Parse a `--timeout-seconds` value: a number of wall seconds in
+ * (0, 1e9]. @throws ConfigError.
+ */
+double parseTimeoutSeconds(const std::string &text);
+
+/**
+ * Parse a `--seed-check` value: a 16-hex-digit shard fingerprint as
+ * produced by shardFingerprint(). @throws ConfigError.
+ */
+std::string parseFingerprintArg(const std::string &text);
+
+/**
+ * Simulator behavior epoch, folded into every shard fingerprint.
+ * Bump it whenever a change alters the metrics a sweep produces
+ * (cost models, kernels, translation) so shared result caches from
+ * older builds miss instead of silently serving stale numbers.
+ */
+inline constexpr std::int64_t kEngineEpoch = 1;
+
+/** Exit code of a worker whose `--timeout-seconds` budget expired. */
+inline constexpr int kTimeoutExitCode = 124;
+
+/** Exit code of the test-only `--die-after` crash hook. */
+inline constexpr int kDieAfterExitCode = 75;
+
+/**
+ * Canonical content manifest of one shard: the bench schema version,
+ * the shard slice geometry, and every job in the slice with its fully
+ * canonicalized parameters/options (schema `lsqca-shard-v1`). Two
+ * shards with equal manifests produce byte-identical BENCH documents
+ * under --no-timing, which is what makes the manifest's hash a safe
+ * content-address for the result cache.
+ */
+Json shardManifest(const SweepSpec &spec,
+                   const std::vector<ExpandedJob> &jobs,
+                   const ShardRange &shard, bool noTiming);
+
+/** contentFingerprint() of shardManifest().dump(0): the cache key. */
+std::string shardFingerprint(const SweepSpec &spec,
+                             const std::vector<ExpandedJob> &jobs,
+                             const ShardRange &shard, bool noTiming);
+
+/** shardFingerprint() for every shard of an `N`-way partition. */
+std::vector<std::string>
+shardFingerprints(const SweepSpec &spec,
+                  const std::vector<ExpandedJob> &jobs,
+                  std::int32_t shardCount, bool noTiming);
+
+/**
  * Expand the spec's cartesian product into the full job vector, in
  * deterministic order (first axis outermost). Validates benchmark
  * names/params against @p registry and resolves "hot" hybrid
@@ -156,6 +205,27 @@ struct RunSpecOptions
     bool noTiming = false;
     /** Write BENCH_<name>.json (and log a summary line to stderr). */
     bool writeJson = true;
+    /**
+     * Abort the process (exit kTimeoutExitCode) when the run exceeds
+     * this many wall seconds (0 = no limit). Covers synthesis,
+     * simulation, and output; the orchestrator passes it through to
+     * workers so a wedged shard self-terminates.
+     */
+    double timeoutSeconds = 0.0;
+    /**
+     * When non-empty: the shard fingerprint this run is expected to
+     * expand to; a mismatch throws ConfigError before any simulation.
+     * The orchestrator passes it to workers so a spec or registry that
+     * changed after the campaign was queued fails fast instead of
+     * poisoning the merge.
+     */
+    std::string seedCheck;
+    /**
+     * Test-only crash hook: simulate the first N jobs of the slice,
+     * then exit kDieAfterExitCode without writing output (-1 = off).
+     * Lets tests kill a worker mid-shard deterministically.
+     */
+    std::int64_t dieAfter = -1;
 };
 
 /** Outcome of runSpec: the slice run, its results, and the report. */
@@ -185,9 +255,13 @@ SpecRun runSpec(const SweepSpec &spec, BenchmarkRegistry &registry,
  * slices are validated to partition the sweep (every index 0..N-1
  * exactly once), entries concatenate in shard order, wall-clock sums,
  * and the shard marker is dropped. Documents without shard markers
- * concatenate in argument order.
+ * concatenate in argument order. Duplicate entry names are rejected
+ * with an error naming both positions (@p labels, when given, must
+ * parallel @p docs and supplies the source name per document —
+ * typically its file path).
  */
-Json mergeBenchReports(const std::vector<Json> &docs);
+Json mergeBenchReports(const std::vector<Json> &docs,
+                       const std::vector<std::string> &labels = {});
 
 } // namespace lsqca::api
 

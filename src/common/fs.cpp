@@ -1,0 +1,134 @@
+#include "common/fs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/error.h"
+
+namespace lsqca::fsutil {
+
+namespace stdfs = std::filesystem;
+
+bool
+exists(const std::string &path)
+{
+    std::error_code ec;
+    return stdfs::exists(stdfs::path(path), ec);
+}
+
+bool
+isDirectory(const std::string &path)
+{
+    std::error_code ec;
+    return stdfs::is_directory(stdfs::path(path), ec);
+}
+
+void
+makeDirs(const std::string &path)
+{
+    if (path.empty())
+        return;
+    std::error_code ec;
+    stdfs::create_directories(stdfs::path(path), ec);
+    LSQCA_REQUIRE(!ec, "cannot create directory " + path + ": " +
+                           ec.message());
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    LSQCA_REQUIRE(in.good(), "cannot read " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    LSQCA_REQUIRE(!in.bad(), "error while reading " + path);
+    return buffer.str();
+}
+
+void
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    const stdfs::path target(path);
+    if (target.has_parent_path()) {
+        std::error_code ec;
+        stdfs::create_directories(target.parent_path(), ec);
+    }
+    // Temp sibling in the same directory so rename() stays atomic
+    // (same filesystem); the pid suffix keeps concurrent writers from
+    // clobbering each other's staging file.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        LSQCA_REQUIRE(out.good(), "cannot write " + tmp);
+        out.write(content.data(),
+                  static_cast<std::streamsize>(content.size()));
+        out.flush();
+        LSQCA_REQUIRE(out.good(), "error while writing " + tmp);
+    }
+    std::error_code ec;
+    stdfs::rename(stdfs::path(tmp), target, ec);
+    if (ec) {
+        removeFile(tmp);
+        LSQCA_REQUIRE(false, "cannot rename " + tmp + " -> " + path +
+                                 ": " + ec.message());
+    }
+}
+
+void
+copyFileAtomic(const std::string &src, const std::string &dst)
+{
+    writeFileAtomic(dst, readFile(src));
+}
+
+void
+removeFile(const std::string &path)
+{
+    std::error_code ec;
+    stdfs::remove(stdfs::path(path), ec);
+}
+
+std::vector<std::string>
+listFiles(const std::string &dir, const std::string &prefix,
+          const std::string &suffix)
+{
+    LSQCA_REQUIRE(isDirectory(dir), dir + " is not a directory");
+    struct Entry
+    {
+        std::string name;
+        std::string path;
+    };
+    std::vector<Entry> entries;
+    std::error_code ec;
+    for (const auto &item : stdfs::directory_iterator(dir, ec)) {
+        if (!item.is_regular_file())
+            continue;
+        const std::string name = item.path().filename().string();
+        if (name.size() < prefix.size() + suffix.size())
+            continue;
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        if (suffix.size() > 0 &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        entries.push_back({name, item.path().string()});
+    }
+    LSQCA_REQUIRE(!ec, "cannot list " + dir + ": " + ec.message());
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.name < b.name;
+              });
+    std::vector<std::string> paths;
+    paths.reserve(entries.size());
+    for (Entry &entry : entries)
+        paths.push_back(std::move(entry.path));
+    return paths;
+}
+
+} // namespace lsqca::fsutil

@@ -1,0 +1,53 @@
+#ifndef LSQCA_COMMON_FS_H
+#define LSQCA_COMMON_FS_H
+
+/**
+ * @file
+ * Filesystem helpers for the service layer: atomic writes (tmp +
+ * rename, so a crashed orchestrator never leaves a half-written
+ * queue.json or cache entry behind), byte-exact copies, and
+ * deterministic (sorted) directory listings for `lsqca merge <dir>`.
+ * All errors surface as ConfigError with the offending path.
+ */
+
+#include <string>
+#include <vector>
+
+namespace lsqca::fsutil {
+
+bool exists(const std::string &path);
+
+bool isDirectory(const std::string &path);
+
+/** mkdir -p. @throws ConfigError on failure. */
+void makeDirs(const std::string &path);
+
+/** Whole-file read. @throws ConfigError when unreadable. */
+std::string readFile(const std::string &path);
+
+/**
+ * Write @p content to @p path atomically: parent dirs are created,
+ * bytes land in a sibling temp file, and rename() publishes them, so
+ * concurrent readers see either the old or the new document — never a
+ * torn one. @throws ConfigError.
+ */
+void writeFileAtomic(const std::string &path, const std::string &content);
+
+/** Byte-exact atomic copy (readFile + writeFileAtomic). */
+void copyFileAtomic(const std::string &src, const std::string &dst);
+
+/** Best-effort unlink; absent files are not an error. */
+void removeFile(const std::string &path);
+
+/**
+ * Regular files in @p dir whose names start with @p prefix and end
+ * with @p suffix, as full paths sorted by file name (deterministic
+ * merge order). @throws ConfigError when @p dir is not a directory.
+ */
+std::vector<std::string> listFiles(const std::string &dir,
+                                   const std::string &prefix = "",
+                                   const std::string &suffix = "");
+
+} // namespace lsqca::fsutil
+
+#endif // LSQCA_COMMON_FS_H

@@ -1,0 +1,69 @@
+#ifndef LSQCA_COMMON_HASH_H
+#define LSQCA_COMMON_HASH_H
+
+/**
+ * @file
+ * Stable content hashing for cache keys and fingerprints.
+ *
+ * FNV-1a (64-bit) over a canonical byte string: fast, dependency-free,
+ * and — crucially for the on-disk result cache — identical on every
+ * platform and in every process, unlike std::hash. Fingerprints render
+ * as 16 lowercase hex digits so they double as safe file names.
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lsqca {
+
+inline constexpr std::uint64_t kFnv1a64Offset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnv1a64Prime = 1099511628211ULL;
+
+/** FNV-1a over @p data, optionally chained from a previous hash. */
+inline std::uint64_t
+fnv1a64(std::string_view data, std::uint64_t seed = kFnv1a64Offset)
+{
+    std::uint64_t hash = seed;
+    for (const char c : data) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= kFnv1a64Prime;
+    }
+    return hash;
+}
+
+/** 16 lowercase hex digits, zero-padded. */
+inline std::string
+hashToHex(std::uint64_t hash)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[hash & 0xf];
+        hash >>= 4;
+    }
+    return out;
+}
+
+/** The canonical fingerprint of a byte string (hex fnv1a64). */
+inline std::string
+contentFingerprint(std::string_view data)
+{
+    return hashToHex(fnv1a64(data));
+}
+
+/** True iff @p text looks like a contentFingerprint() result. */
+inline bool
+isFingerprint(std::string_view text)
+{
+    if (text.size() != 16)
+        return false;
+    for (const char c : text)
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+            return false;
+    return true;
+}
+
+} // namespace lsqca
+
+#endif // LSQCA_COMMON_HASH_H

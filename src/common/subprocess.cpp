@@ -1,0 +1,135 @@
+#include "common/subprocess.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/error.h"
+
+namespace lsqca::proc {
+
+std::string
+Status::describe() const
+{
+    if (running)
+        return "running";
+    if (signaled)
+        return "signal " + std::to_string(signal);
+    return "exit " + std::to_string(exitCode);
+}
+
+Pid
+spawn(const Command &command)
+{
+    LSQCA_REQUIRE(!command.argv.empty(), "spawn needs an argv");
+    if (!command.logPath.empty()) {
+        const std::filesystem::path log(command.logPath);
+        if (log.has_parent_path()) {
+            std::error_code ec;
+            std::filesystem::create_directories(log.parent_path(), ec);
+        }
+    }
+
+    std::vector<char *> argv;
+    argv.reserve(command.argv.size() + 1);
+    for (const std::string &arg : command.argv)
+        argv.push_back(const_cast<char *>(arg.c_str()));
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    LSQCA_REQUIRE(pid >= 0, std::string("fork failed: ") +
+                                std::strerror(errno));
+    if (pid == 0) {
+        // Child: capture output, then exec. Failures must not return
+        // into the parent's code, so they _exit with the conventional
+        // "command not found" code.
+        if (!command.logPath.empty()) {
+            const int fd =
+                ::open(command.logPath.c_str(),
+                       O_CREAT | O_WRONLY | O_APPEND, 0644);
+            if (fd >= 0) {
+                ::dup2(fd, STDOUT_FILENO);
+                ::dup2(fd, STDERR_FILENO);
+                if (fd > STDERR_FILENO)
+                    ::close(fd);
+            }
+        }
+        ::execv(argv[0], argv.data());
+        ::_exit(127);
+    }
+    return static_cast<Pid>(pid);
+}
+
+namespace {
+
+Status
+decode(int raw)
+{
+    Status status;
+    if (WIFEXITED(raw)) {
+        status.exited = true;
+        status.exitCode = WEXITSTATUS(raw);
+    } else if (WIFSIGNALED(raw)) {
+        status.signaled = true;
+        status.signal = WTERMSIG(raw);
+    }
+    return status;
+}
+
+} // namespace
+
+Status
+poll(Pid pid)
+{
+    int raw = 0;
+    const pid_t reaped = ::waitpid(static_cast<pid_t>(pid), &raw,
+                                   WNOHANG);
+    if (reaped == 0) {
+        Status status;
+        status.running = true;
+        return status;
+    }
+    LSQCA_REQUIRE(reaped == static_cast<pid_t>(pid),
+                  std::string("waitpid failed: ") +
+                      std::strerror(errno));
+    return decode(raw);
+}
+
+Status
+wait(Pid pid)
+{
+    int raw = 0;
+    pid_t reaped;
+    do {
+        reaped = ::waitpid(static_cast<pid_t>(pid), &raw, 0);
+    } while (reaped < 0 && errno == EINTR);
+    LSQCA_REQUIRE(reaped == static_cast<pid_t>(pid),
+                  std::string("waitpid failed: ") +
+                      std::strerror(errno));
+    return decode(raw);
+}
+
+void
+terminate(Pid pid)
+{
+    ::kill(static_cast<pid_t>(pid), SIGKILL);
+}
+
+std::string
+selfExecutable(const std::string &fallback)
+{
+    std::error_code ec;
+    const auto self =
+        std::filesystem::read_symlink("/proc/self/exe", ec);
+    if (!ec)
+        return self.string();
+    return fallback;
+}
+
+} // namespace lsqca::proc

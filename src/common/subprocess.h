@@ -1,0 +1,74 @@
+#ifndef LSQCA_COMMON_SUBPROCESS_H
+#define LSQCA_COMMON_SUBPROCESS_H
+
+/**
+ * @file
+ * Minimal POSIX child-process control for the sweep orchestrator:
+ * spawn a worker with its stdout/stderr captured to a log file, poll
+ * it without blocking, and kill stragglers. Only what the service
+ * layer needs — no shells, no pipes, no environment surgery — so the
+ * orchestrator's behavior stays easy to reason about.
+ */
+
+#include <string>
+#include <vector>
+
+namespace lsqca::proc {
+
+/** Child process handle (the pid). */
+using Pid = int;
+
+/** One worker invocation. */
+struct Command
+{
+    /** argv[0] is the executable path (execv, no PATH search). */
+    std::vector<std::string> argv;
+    /** Append stdout+stderr here ("" = inherit the parent's). */
+    std::string logPath;
+};
+
+/** Outcome of poll()/wait(). */
+struct Status
+{
+    /** Still alive (everything below is meaningless then). */
+    bool running = false;
+    /** Exited normally; exitCode holds the code. */
+    bool exited = false;
+    int exitCode = 0;
+    /** Killed by a signal; signal holds which. */
+    bool signaled = false;
+    int signal = 0;
+
+    bool ok() const { return exited && exitCode == 0; }
+
+    /** "exit 3" / "signal 9" — for queue.json failure records. */
+    std::string describe() const;
+};
+
+/**
+ * fork + execv. The child's stdout/stderr are appended to
+ * command.logPath (created along with parent directories).
+ * @throws ConfigError when the fork fails or argv is empty; an
+ * unexecutable binary surfaces as exit code 127 from poll()/wait().
+ */
+Pid spawn(const Command &command);
+
+/** Non-blocking status check (waitpid WNOHANG). */
+Status poll(Pid pid);
+
+/** Blocking reap. */
+Status wait(Pid pid);
+
+/** SIGKILL (best effort; reap with wait() afterwards). */
+void terminate(Pid pid);
+
+/**
+ * Absolute path of the running executable (/proc/self/exe), used by
+ * the CLI to re-invoke itself as a worker; falls back to @p fallback
+ * (argv[0]) when the proc filesystem is unavailable.
+ */
+std::string selfExecutable(const std::string &fallback);
+
+} // namespace lsqca::proc
+
+#endif // LSQCA_COMMON_SUBPROCESS_H

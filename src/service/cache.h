@@ -1,0 +1,69 @@
+#ifndef LSQCA_SERVICE_CACHE_H
+#define LSQCA_SERVICE_CACHE_H
+
+/**
+ * @file
+ * Content-addressed shard result cache.
+ *
+ * Every finished shard's BENCH document is stored under
+ * `<dir>/<fingerprint>.json`, where the fingerprint is the canonical
+ * hash of the shard's content manifest — the job slice's fully
+ * canonicalized parameters and options, the shard geometry, and the
+ * BENCH schema version (api::shardFingerprint). Two invocations with
+ * equal fingerprints are guaranteed to produce byte-identical
+ * documents under --no-timing, so fetches are byte-exact copies:
+ * re-submitting an overlapping spec skips every shard the cache
+ * already holds, and the merged artifact is still bit-for-bit what a
+ * direct run would have written.
+ *
+ * The cache is shared-safe between concurrent campaigns: stores go
+ * through atomic tmp+rename publishes, and any later writer of the
+ * same key writes the same bytes by construction.
+ */
+
+#include <cstddef>
+#include <string>
+
+namespace lsqca::service {
+
+/** File-per-fingerprint BENCH document cache. */
+class ResultCache
+{
+  public:
+    /** An empty @p dir disables the cache (every lookup misses). */
+    explicit ResultCache(std::string dir);
+
+    bool enabled() const { return !dir_.empty(); }
+
+    const std::string &dir() const { return dir_; }
+
+    /** Where @p fingerprint lives/would live. @throws when disabled. */
+    std::string pathFor(const std::string &fingerprint) const;
+
+    bool contains(const std::string &fingerprint) const;
+
+    /**
+     * Byte-exact copy of the cached document to @p destPath.
+     * @return false on a miss (or when disabled).
+     */
+    bool fetch(const std::string &fingerprint,
+               const std::string &destPath) const;
+
+    /**
+     * Publish @p srcPath under @p fingerprint (atomic; a concurrent
+     * writer of the same key writes identical bytes). No-op when
+     * disabled.
+     */
+    void store(const std::string &fingerprint,
+               const std::string &srcPath) const;
+
+    /** Cached documents currently on disk (0 when disabled). */
+    std::size_t size() const;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace lsqca::service
+
+#endif // LSQCA_SERVICE_CACHE_H

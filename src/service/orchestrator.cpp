@@ -1,0 +1,432 @@
+#include "service/orchestrator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <thread>
+
+#include "api/registry.h"
+#include "api/spec.h"
+#include "common/error.h"
+#include "common/fs.h"
+#include "common/subprocess.h"
+#include "common/table.h"
+#include "service/cache.h"
+#include "sweep/sweep.h"
+
+namespace lsqca::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Upper-biased median of a non-empty sample (heuristic use only). */
+double
+medianOf(std::vector<double> values)
+{
+    std::sort(values.begin(), values.end());
+    const std::size_t mid = values.size() / 2;
+    if (values.size() % 2 == 1)
+        return values[mid];
+    return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+/** A live worker attempt. */
+struct RunningWorker
+{
+    std::size_t task = 0;
+    proc::Pid pid = 0;
+    Clock::time_point start;
+    std::string logPath;
+};
+
+/**
+ * Full-precision rendering for values that are re-parsed by workers
+ * (a policy knob must survive the argv round trip exactly; "%.3f"
+ * would truncate sub-millisecond timeouts to an invalid "0.000").
+ */
+std::string
+formatArgDouble(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+} // namespace
+
+double
+stragglerDeadline(double medianSeconds, double factor,
+                  double minSeconds)
+{
+    return std::max(factor * medianSeconds, minSeconds);
+}
+
+Orchestrator::Orchestrator(OrchestratorOptions options)
+    : options_(std::move(options))
+{
+    LSQCA_REQUIRE(!options_.stateDir.empty(),
+                  "the orchestrator needs a state dir");
+    LSQCA_REQUIRE(!options_.workerExe.empty(),
+                  "the orchestrator needs a worker executable");
+    LSQCA_REQUIRE(options_.workers >= 1 && options_.workers <= 1024,
+                  "--workers must lie in [1, 1024]");
+    LSQCA_REQUIRE(options_.shards >= 0 && options_.shards <= (1 << 20),
+                  "--shards must lie in [0, 2^20]");
+    LSQCA_REQUIRE(options_.stragglerFactor >= 1.0,
+                  "--straggler-factor must be >= 1");
+}
+
+std::string
+Orchestrator::queuePath(const std::string &stateDir)
+{
+    return stateDir + "/queue.json";
+}
+
+std::string
+Orchestrator::shardFileName(const std::string &campaign,
+                            std::int32_t index, std::int32_t count)
+{
+    // Mirrors runSpec's output naming: a whole-sweep shard (0/1)
+    // carries no marker and no suffix.
+    if (count <= 1)
+        return "BENCH_" + campaign + ".json";
+    return "BENCH_" + campaign + ".shard" + std::to_string(index) +
+           "of" + std::to_string(count) + ".json";
+}
+
+QueueState
+Orchestrator::inspect(const std::string &stateDir)
+{
+    return QueueState::load(queuePath(stateDir));
+}
+
+CampaignReport
+Orchestrator::submit(const std::string &specPath)
+{
+    const std::string queueFile = queuePath(options_.stateDir);
+    LSQCA_REQUIRE(!fsutil::exists(queueFile),
+                  options_.stateDir +
+                      " already holds a campaign; continue it with "
+                      "`lsqca resume` or remove the directory");
+
+    // Absolute so `lsqca resume` works from any working directory.
+    const std::string absSpec =
+        std::filesystem::absolute(specPath).lexically_normal().string();
+    const api::SweepSpec spec = api::SweepSpec::load(absSpec);
+    const api::BenchmarkRegistry registry =
+        api::BenchmarkRegistry::paper();
+    const std::vector<api::ExpandedJob> jobs =
+        api::expandSpec(spec, registry);
+
+    std::int32_t shards = options_.shards;
+    if (shards <= 0)
+        shards = static_cast<std::int32_t>(
+            std::min<std::int64_t>(static_cast<std::int64_t>(jobs.size()),
+                                   std::max(4 * options_.workers, 1)));
+
+    QueueState state;
+    state.campaign = spec.name;
+    state.specPath = absSpec;
+    state.shardCount = shards;
+    state.noTiming = options_.noTiming;
+    state.maxAttempts =
+        options_.maxAttempts > 0 ? options_.maxAttempts : 3;
+    const std::vector<std::string> fingerprints =
+        api::shardFingerprints(spec, jobs, shards, state.noTiming);
+    for (std::int32_t i = 0; i < shards; ++i) {
+        ShardTask task;
+        task.index = i;
+        task.fingerprint = fingerprints[static_cast<std::size_t>(i)];
+        state.tasks.push_back(std::move(task));
+    }
+    fsutil::makeDirs(options_.stateDir);
+    state.save(queueFile);
+    return drive(std::move(state));
+}
+
+CampaignReport
+Orchestrator::resume()
+{
+    const std::string queueFile = queuePath(options_.stateDir);
+    LSQCA_REQUIRE(fsutil::exists(queueFile),
+                  options_.stateDir +
+                      " holds no campaign (no queue.json); start one "
+                      "with `lsqca submit`");
+    QueueState state = QueueState::load(queueFile);
+
+    // Re-derive the campaign's fingerprints from the spec file as it
+    // exists *now*: if it (or the registry) changed since the queue
+    // was created, completed shards and queued ones would disagree on
+    // content, so refuse to continue rather than poison the merge.
+    // (submit() skips this — it computed the fingerprints from the
+    // same file milliseconds ago.)
+    const api::SweepSpec spec = api::SweepSpec::load(state.specPath);
+    LSQCA_REQUIRE(spec.name == state.campaign,
+                  state.specPath + ": spec name \"" + spec.name +
+                      "\" does not match campaign \"" + state.campaign +
+                      "\"");
+    const api::BenchmarkRegistry registry =
+        api::BenchmarkRegistry::paper();
+    const std::vector<api::ExpandedJob> jobs =
+        api::expandSpec(spec, registry);
+    const std::vector<std::string> fingerprints = api::shardFingerprints(
+        spec, jobs, state.shardCount, state.noTiming);
+    for (std::size_t i = 0; i < state.tasks.size(); ++i)
+        LSQCA_REQUIRE(
+            fingerprints[i] == state.tasks[i].fingerprint,
+            "shard " + std::to_string(i) + " of campaign \"" +
+                state.campaign + "\" now expands to fingerprint " +
+                fingerprints[i] + " but was queued as " +
+                state.tasks[i].fingerprint +
+                " — the spec file changed under the campaign; submit "
+                "it as a new campaign instead");
+
+    state.resetRunning();
+    if (options_.maxAttempts > state.maxAttempts) {
+        // A raised cap re-opens shards that exhausted the old one.
+        state.maxAttempts = options_.maxAttempts;
+        for (ShardTask &task : state.tasks)
+            if (task.status == TaskStatus::Failed &&
+                task.attempts < state.maxAttempts)
+                task.status = TaskStatus::Pending;
+    }
+    state.save(queueFile);
+    return drive(std::move(state));
+}
+
+CampaignReport
+Orchestrator::drive(QueueState state)
+{
+    CampaignReport report;
+    report.queuePath = queuePath(options_.stateDir);
+
+    const std::string shardsDir = options_.stateDir + "/shards";
+    const std::string logsDir = options_.stateDir + "/logs";
+    fsutil::makeDirs(shardsDir);
+    const ResultCache cache(
+        !options_.useCache
+            ? std::string()
+            : (options_.cacheDir.empty() ? options_.stateDir + "/cache"
+                                         : options_.cacheDir));
+
+    // Cache pass: shards whose content-address is already on disk are
+    // done without spawning anything.
+    for (ShardTask &task : state.tasks) {
+        if (task.status != TaskStatus::Pending)
+            continue;
+        const std::string name =
+            shardFileName(state.campaign, task.index, state.shardCount);
+        if (!cache.fetch(task.fingerprint, shardsDir + "/" + name))
+            continue;
+        task.status = TaskStatus::Done;
+        task.cached = true;
+        task.wallSeconds = 0.0;
+        task.output = "shards/" + name;
+        task.lastError = "";
+        ++report.cacheHits;
+    }
+    state.save(report.queuePath);
+
+    std::vector<RunningWorker> running;
+    std::vector<double> doneWalls;
+
+    // Crash/timeout/straggler funnel: back to pending while the
+    // attempt budget lasts, failed once it is exhausted.
+    const auto fail = [&](ShardTask &task, const std::string &reason) {
+        task.lastError = reason;
+        if (task.attempts >= state.maxAttempts) {
+            task.status = TaskStatus::Failed;
+        } else {
+            task.status = TaskStatus::Pending;
+            ++report.retries;
+        }
+    };
+
+    const auto reap = [&](const RunningWorker &worker) {
+        proc::terminate(worker.pid);
+        proc::wait(worker.pid);
+    };
+
+    for (;;) {
+        // Dispatch pending shards into free worker slots, recording
+        // the attempt in queue.json *before* the spawn so a dead
+        // orchestrator can never under-count attempts.
+        for (std::size_t t = 0;
+             t < state.tasks.size() &&
+             running.size() < static_cast<std::size_t>(options_.workers);
+             ++t) {
+            ShardTask &task = state.tasks[t];
+            if (task.status != TaskStatus::Pending)
+                continue;
+            ++task.attempts;
+            task.status = TaskStatus::Running;
+            state.save(report.queuePath);
+
+            proc::Command command;
+            command.argv = {options_.workerExe,
+                            "run",
+                            state.specPath,
+                            "--shard",
+                            std::to_string(task.index) + "/" +
+                                std::to_string(state.shardCount),
+                            "--threads",
+                            std::to_string(options_.threadsPerWorker),
+                            "--out",
+                            shardsDir};
+            if (state.noTiming)
+                command.argv.push_back("--no-timing");
+            if (options_.timeoutSeconds > 0.0) {
+                command.argv.push_back("--timeout-seconds");
+                command.argv.push_back(
+                    formatArgDouble(options_.timeoutSeconds));
+            }
+            if (options_.seedCheck) {
+                command.argv.push_back("--seed-check");
+                command.argv.push_back(task.fingerprint);
+            }
+            command.argv.insert(command.argv.end(),
+                                options_.extraWorkerArgs.begin(),
+                                options_.extraWorkerArgs.end());
+            if (task.attempts == 1)
+                command.argv.insert(
+                    command.argv.end(),
+                    options_.firstAttemptExtraArgs.begin(),
+                    options_.firstAttemptExtraArgs.end());
+            command.logPath = logsDir + "/shard" +
+                              std::to_string(task.index) + ".attempt" +
+                              std::to_string(task.attempts) + ".log";
+
+            RunningWorker worker;
+            worker.task = t;
+            worker.pid = proc::spawn(command);
+            worker.start = Clock::now();
+            worker.logPath = command.logPath;
+            running.push_back(std::move(worker));
+            ++report.spawned;
+
+            if (options_.stopAfterDispatches > 0 &&
+                report.spawned >= options_.stopAfterDispatches) {
+                // Simulated orchestrator death: the queue keeps the
+                // tasks marked running; resume() re-queues them.
+                for (const RunningWorker &live : running)
+                    reap(live);
+                report.interrupted = true;
+                report.queue = state;
+                return report;
+            }
+        }
+
+        if (running.empty())
+            break;
+
+        // Reap finished workers; kill stragglers.
+        const double deadline =
+            doneWalls.empty()
+                ? 0.0
+                : stragglerDeadline(medianOf(doneWalls),
+                                    options_.stragglerFactor,
+                                    options_.minStragglerSeconds);
+        for (std::size_t w = 0; w < running.size();) {
+            const RunningWorker &worker = running[w];
+            ShardTask &task = state.tasks[worker.task];
+            proc::Status status = proc::poll(worker.pid);
+            const double elapsed = secondsSince(worker.start);
+
+            // The deadline doubles with every attempt, and a shard's
+            // final attempt is immune: killing the only copy of a
+            // legitimately slow shard into a failed campaign would be
+            // worse than waiting (the hard --timeout-seconds still
+            // bounds a truly wedged worker).
+            const double taskDeadline =
+                deadline * static_cast<double>(1 << std::min(
+                                                   task.attempts - 1,
+                                                   16));
+            if (status.running && deadline > 0.0 &&
+                task.attempts < state.maxAttempts &&
+                elapsed > taskDeadline) {
+                reap(worker);
+                ++report.stragglersKilled;
+                fail(task,
+                     "straggler killed after " +
+                         TextTable::num(elapsed, 3) + " s (deadline " +
+                         TextTable::num(taskDeadline, 3) +
+                         " s, attempt " + std::to_string(task.attempts) +
+                         ", base = " +
+                         TextTable::num(options_.stragglerFactor, 3) +
+                         " x median done wall)");
+                state.save(report.queuePath);
+                running.erase(running.begin() +
+                              static_cast<std::ptrdiff_t>(w));
+                continue;
+            }
+            if (status.running) {
+                ++w;
+                continue;
+            }
+
+            const std::string name = shardFileName(
+                state.campaign, task.index, state.shardCount);
+            const std::string outPath = shardsDir + "/" + name;
+            if (status.ok() && fsutil::exists(outPath)) {
+                task.status = TaskStatus::Done;
+                task.cached = false;
+                task.wallSeconds = elapsed;
+                task.output = "shards/" + name;
+                task.lastError = "";
+                doneWalls.push_back(elapsed);
+                cache.store(task.fingerprint, outPath);
+            } else if (status.ok()) {
+                fail(task, "worker exited 0 without writing " + name);
+            } else {
+                std::string reason = "worker " + status.describe();
+                if (status.exited &&
+                    status.exitCode == api::kTimeoutExitCode)
+                    reason += " (timed out)";
+                else if (status.exited &&
+                         status.exitCode == api::kDieAfterExitCode)
+                    reason += " (died mid-shard)";
+                fail(task, reason + "; see " + worker.logPath);
+            }
+            state.save(report.queuePath);
+            running.erase(running.begin() +
+                          static_cast<std::ptrdiff_t>(w));
+        }
+
+        if (!running.empty())
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(options_.pollSeconds));
+    }
+
+    report.queue = state;
+    if (!state.allDone())
+        return report;
+
+    // Merge in shard order through the same path `lsqca merge` uses;
+    // under --no-timing the artifact is byte-identical to a direct
+    // unsharded run (pinned by tests/service and the CI gate).
+    std::vector<Json> docs;
+    std::vector<std::string> labels;
+    docs.reserve(state.tasks.size());
+    for (const ShardTask &task : state.tasks) {
+        const std::string path = options_.stateDir + "/" + task.output;
+        docs.push_back(Json::load(path));
+        labels.push_back(path);
+    }
+    const Json merged = api::mergeBenchReports(docs, labels);
+    report.mergedPath = writeBenchJson(
+        state.campaign, merged,
+        options_.outDir.empty() ? options_.stateDir : options_.outDir);
+    report.complete = true;
+    report.queue = state;
+    return report;
+}
+
+} // namespace lsqca::service

@@ -1,0 +1,153 @@
+#ifndef LSQCA_SERVICE_ORCHESTRATOR_H
+#define LSQCA_SERVICE_ORCHESTRATOR_H
+
+/**
+ * @file
+ * The sweep orchestration service: turns one `SweepSpec` into a
+ * campaign of shard tasks, dispatches them as child `lsqca run
+ * --shard i/N` worker processes (up to `workers` at a time), and
+ * drives the persistent queue (service/queue.h) until every shard is
+ * done — re-queuing crashed, timed-out, and straggling workers with
+ * an attempt cap, satisfying shards from the content-addressed result
+ * cache (service/cache.h) when their fingerprints are already known,
+ * and finishing with the same `mergeBenchReports` the CLI's `merge`
+ * uses, so the final `BENCH_<campaign>.json` is byte-identical to a
+ * direct unsharded `lsqca run` under --no-timing.
+ *
+ * Straggler policy: once at least one shard has completed in this
+ * process, a worker older than
+ * `max(stragglerFactor * median(done walls), minStragglerSeconds)`
+ * is killed and its shard re-queued — the defense against one wedged
+ * worker serializing the campaign. The deadline doubles with each of
+ * the shard's attempts, and the final attempt is never straggler-
+ * killed, so a shard that is legitimately much slower than its peers
+ * converges instead of being killed into a failed campaign (a truly
+ * wedged worker is still bounded by the hard `timeoutSeconds`).
+ *
+ * State-dir layout:
+ *
+ *     <state>/queue.json       lsqca-queue-v1 (source of truth)
+ *     <state>/shards/BENCH_*   per-shard worker output
+ *     <state>/logs/shard<i>.attempt<a>.log
+ *     <state>/cache/<fp>.json  result cache (override via cacheDir)
+ *     <state>/BENCH_<campaign>.json   merged artifact (see outDir)
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/queue.h"
+
+namespace lsqca::service {
+
+struct OrchestratorOptions
+{
+    /** Campaign directory (required). */
+    std::string stateDir;
+    /** Result cache dir ("" = <stateDir>/cache). */
+    std::string cacheDir;
+    /** Disable the result cache entirely. */
+    bool useCache = true;
+    /** Where the merged BENCH document lands ("" = stateDir). */
+    std::string outDir;
+    /** Concurrent worker processes. */
+    std::int32_t workers = 2;
+    /** Shard count; 0 = min(jobs, 4 * workers). */
+    std::int32_t shards = 0;
+    /** `--threads` per worker (processes are the parallelism unit). */
+    std::int32_t threadsPerWorker = 1;
+    /** Pass --no-timing to workers (deterministic artifact bytes). */
+    bool noTiming = false;
+    /** Per-attempt hard wall limit, passed as --timeout-seconds. */
+    double timeoutSeconds = 0.0;
+    /** Straggler deadline as a multiple of the median done wall. */
+    double stragglerFactor = 4.0;
+    /** Straggler deadline floor (protects millisecond shards). */
+    double minStragglerSeconds = 10.0;
+    /** Spawn budget per shard (submit only; 0 = default 3). */
+    std::int32_t maxAttempts = 0;
+    /** Pass --seed-check <fingerprint> to every worker. */
+    bool seedCheck = true;
+    /** Worker binary (required; the CLI passes itself). */
+    std::string workerExe;
+    /** Poll interval while workers run. */
+    double pollSeconds = 0.02;
+
+    // Test hooks (exercised by tests/service and the CI smoke gate).
+    /** Extra argv appended to every worker invocation. */
+    std::vector<std::string> extraWorkerArgs;
+    /** Extra argv appended only to a shard's first attempt. */
+    std::vector<std::string> firstAttemptExtraArgs;
+    /**
+     * > 0: after this many spawns, kill the live workers and return
+     * with tasks still marked running — a deterministic stand-in for
+     * "the orchestrator machine died mid-campaign".
+     */
+    std::int32_t stopAfterDispatches = 0;
+};
+
+/** What one submit()/resume() call did. */
+struct CampaignReport
+{
+    /** Every shard done and the merged artifact written. */
+    bool complete = false;
+    /** Stopped by the stopAfterDispatches hook. */
+    bool interrupted = false;
+    std::int32_t spawned = 0;
+    std::int32_t cacheHits = 0;
+    /** Crash/timeout/straggler attempts that were re-queued. */
+    std::int32_t retries = 0;
+    std::int32_t stragglersKilled = 0;
+    /** Merged BENCH path ("" unless complete). */
+    std::string mergedPath;
+    std::string queuePath;
+    /** Final queue snapshot (matches the file on disk). */
+    QueueState queue;
+};
+
+/** max(factor * median, floor) — exposed for unit tests. */
+double stragglerDeadline(double medianSeconds, double factor,
+                         double minSeconds);
+
+/** Drives one campaign in one state dir. */
+class Orchestrator
+{
+  public:
+    explicit Orchestrator(OrchestratorOptions options);
+
+    /**
+     * Create a fresh campaign from @p specPath (the state dir must
+     * not already hold one) and drive it to completion. @throws
+     * ConfigError on an existing queue.json, a bad spec, or a
+     * fingerprint mismatch.
+     */
+    CampaignReport submit(const std::string &specPath);
+
+    /**
+     * Continue the state dir's campaign: running tasks (an earlier
+     * orchestrator died mid-attempt) go back to pending with their
+     * attempt counts kept, then the queue drains as usual. A larger
+     * `maxAttempts` than the queue's re-opens failed shards.
+     */
+    CampaignReport resume();
+
+    /** Read queue.json without driving anything. */
+    static QueueState inspect(const std::string &stateDir);
+
+    static std::string queuePath(const std::string &stateDir);
+
+    /** `BENCH_<campaign>[.shard<i>of<N>].json` — worker output name. */
+    static std::string shardFileName(const std::string &campaign,
+                                     std::int32_t index,
+                                     std::int32_t count);
+
+  private:
+    CampaignReport drive(QueueState state);
+
+    OrchestratorOptions options_;
+};
+
+} // namespace lsqca::service
+
+#endif // LSQCA_SERVICE_ORCHESTRATOR_H

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Black-box coverage of the CLI surface the orchestrator rides on:
+ * worker flags (--timeout-seconds, --seed-check, --die-after), the
+ * directory form of `merge` with duplicate-entry rejection, and the
+ * submit/status/resume round trip — each against the real binary, the
+ * way CI and other machines invoke it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/subprocess.h"
+#include "service_test_util.h"
+
+namespace lsqca::service {
+namespace {
+
+struct CliResult
+{
+    int exitCode = -1;
+    bool signaled = false;
+    std::string output; // stdout + stderr
+};
+
+/** Run the real lsqca binary and capture everything. */
+CliResult
+runCli(std::vector<std::string> args, const std::string &logPath)
+{
+    proc::Command command;
+    command.argv = {test::kCliBin};
+    command.argv.insert(command.argv.end(), args.begin(), args.end());
+    command.logPath = logPath;
+    const proc::Status status = proc::wait(proc::spawn(command));
+    CliResult result;
+    result.exitCode = status.exitCode;
+    result.signaled = status.signaled;
+    result.output = fsutil::exists(logPath)
+                        ? fsutil::readFile(logPath)
+                        : std::string();
+    return result;
+}
+
+TEST(Cli, TimeoutSecondsAbortsWithCode124)
+{
+    const std::string dir = test::scratchDir("timeout");
+    // The full fig13 sweep takes well over 10 ms of synthesis +
+    // simulation, so the watchdog always wins this race.
+    const CliResult result =
+        runCli({"run", test::kFig13Spec, "--timeout-seconds", "0.01",
+                "--out", dir + "/out"},
+               dir + "/log");
+    EXPECT_EQ(result.exitCode, 124);
+    EXPECT_NE(result.output.find("exceeded --timeout-seconds"),
+              std::string::npos)
+        << result.output;
+}
+
+TEST(Cli, DieAfterExitsMidShardWithoutOutput)
+{
+    const std::string dir = test::scratchDir("dieafter");
+    const CliResult result =
+        runCli({"run", test::kSmokeSpec, "--shard", "0/2",
+                "--die-after", "1", "--no-timing", "--out",
+                dir + "/out"},
+               dir + "/log");
+    EXPECT_EQ(result.exitCode, 75);
+    EXPECT_FALSE(fsutil::exists(
+        dir + "/out/BENCH_smoke.shard0of2.json"));
+}
+
+TEST(Cli, SeedCheckMismatchFailsAndMalformedValueIsRejected)
+{
+    const std::string dir = test::scratchDir("seedcheck");
+    const CliResult mismatch =
+        runCli({"run", test::kSmokeSpec, "--seed-check",
+                "0123456789abcdef", "--out", dir + "/out"},
+               dir + "/log1");
+    EXPECT_EQ(mismatch.exitCode, 1);
+    EXPECT_NE(mismatch.output.find("--seed-check mismatch"),
+              std::string::npos)
+        << mismatch.output;
+
+    const CliResult malformed =
+        runCli({"run", test::kSmokeSpec, "--seed-check", "nope"},
+               dir + "/log2");
+    EXPECT_EQ(malformed.exitCode, 1);
+    EXPECT_NE(malformed.output.find("16-hex-digit"),
+              std::string::npos)
+        << malformed.output;
+}
+
+TEST(Cli, MergeAcceptsADirectoryOfShards)
+{
+    const std::string dir = test::scratchDir("mergedir");
+    for (const char *shard : {"0/2", "1/2"})
+        ASSERT_EQ(runCli({"run", test::kSmokeSpec, "--shard", shard,
+                          "--no-timing", "--out", dir + "/shards"},
+                         dir + "/runlog")
+                      .exitCode,
+                  0);
+    ASSERT_EQ(runCli({"run", test::kSmokeSpec, "--no-timing", "--out",
+                      dir + "/direct"},
+                     dir + "/runlog")
+                  .exitCode,
+              0);
+
+    const CliResult merged =
+        runCli({"merge", dir + "/shards", "--out",
+                dir + "/merged.json"},
+               dir + "/mergelog");
+    EXPECT_EQ(merged.exitCode, 0);
+    EXPECT_EQ(fsutil::readFile(dir + "/merged.json"),
+              fsutil::readFile(dir + "/direct/BENCH_smoke.json"));
+}
+
+TEST(Cli, MergeRejectsDuplicateEntriesWithPositions)
+{
+    const std::string dir = test::scratchDir("mergedup");
+    ASSERT_EQ(runCli({"run", test::kSmokeSpec, "--no-timing", "--out",
+                      dir + "/out"},
+                     dir + "/runlog")
+                  .exitCode,
+              0);
+    const std::string doc = dir + "/out/BENCH_smoke.json";
+    const CliResult result =
+        runCli({"merge", doc, doc}, dir + "/mergelog");
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("duplicate entry \""),
+              std::string::npos)
+        << result.output;
+    // The error points at both offending documents by path.
+    EXPECT_NE(result.output.find(doc), std::string::npos);
+}
+
+TEST(Cli, MergeRejectsADirectoryWithoutBenchFiles)
+{
+    const std::string dir = test::scratchDir("mergeempty");
+    fsutil::makeDirs(dir + "/empty");
+    const CliResult result =
+        runCli({"merge", dir + "/empty"}, dir + "/log");
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("no BENCH_*.json"),
+              std::string::npos)
+        << result.output;
+}
+
+TEST(Cli, SubmitStatusResumeRoundTrip)
+{
+    const std::string dir = test::scratchDir("campaign");
+    ASSERT_EQ(runCli({"run", test::kSmokeSpec, "--no-timing", "--out",
+                      dir + "/direct"},
+                     dir + "/runlog")
+                  .exitCode,
+              0);
+
+    // Interrupt mid-campaign (simulated orchestrator death killing a
+    // worker mid-run), then resume to the byte-identical artifact.
+    const CliResult interrupted = runCli(
+        {"submit", test::kSmokeSpec, "--workers", "2", "--shards",
+         "4", "--no-timing", "--state", dir + "/state",
+         "--test-stop-after", "2"},
+        dir + "/submitlog");
+    EXPECT_EQ(interrupted.exitCode, 3);
+    EXPECT_NE(interrupted.output.find("campaign interrupted"),
+              std::string::npos)
+        << interrupted.output;
+
+    const CliResult status =
+        runCli({"status", dir + "/state"}, dir + "/statuslog");
+    EXPECT_EQ(status.exitCode, 0);
+    EXPECT_NE(status.output.find("campaign smoke"), std::string::npos);
+    EXPECT_NE(status.output.find("running"), std::string::npos);
+
+    const CliResult resumed =
+        runCli({"resume", dir + "/state", "--workers", "2"},
+               dir + "/resumelog");
+    EXPECT_EQ(resumed.exitCode, 0);
+    EXPECT_NE(resumed.output.find("4/4 shards done"),
+              std::string::npos)
+        << resumed.output;
+    EXPECT_EQ(fsutil::readFile(dir + "/state/BENCH_smoke.json"),
+              fsutil::readFile(dir + "/direct/BENCH_smoke.json"));
+}
+
+TEST(Cli, SubmitRejectsUnknownFlagsAndNonFileSpecs)
+{
+    const std::string dir = test::scratchDir("submitbad");
+    EXPECT_EQ(runCli({"submit", test::kSmokeSpec, "--wrokers", "2"},
+                     dir + "/log1")
+                  .exitCode,
+              1);
+    // Builtin names are for `run`; workers must re-load a real file.
+    const CliResult builtin =
+        runCli({"submit", "smoke"}, dir + "/log2");
+    EXPECT_EQ(builtin.exitCode, 1);
+    EXPECT_NE(builtin.output.find("spec *file*"), std::string::npos)
+        << builtin.output;
+}
+
+} // namespace
+} // namespace lsqca::service

@@ -1,0 +1,41 @@
+#ifndef LSQCA_TESTS_SERVICE_TEST_UTIL_H
+#define LSQCA_TESTS_SERVICE_TEST_UTIL_H
+
+/**
+ * @file
+ * Shared plumbing for the service suite: per-test scratch directories
+ * and the paths to the checked-in specs and the real `lsqca` binary
+ * (LSQCA_CLI_BIN, injected by CMake) that the orchestrator tests use
+ * as their worker fleet.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/fs.h"
+
+namespace lsqca::test {
+
+inline const char *kSmokeSpec = LSQCA_SOURCE_DIR "/specs/smoke.json";
+inline const char *kFig13Spec = LSQCA_SOURCE_DIR "/specs/fig13.json";
+inline const char *kCliBin = LSQCA_CLI_BIN;
+
+/** A fresh empty directory unique to the running test. */
+inline std::string
+scratchDir(const std::string &tag)
+{
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    const std::string dir = ::testing::TempDir() + "lsqca_service_" +
+                            info->test_suite_name() + "_" +
+                            info->name() + "_" + tag;
+    std::filesystem::remove_all(dir);
+    fsutil::makeDirs(dir);
+    return dir;
+}
+
+} // namespace lsqca::test
+
+#endif // LSQCA_TESTS_SERVICE_TEST_UTIL_H

@@ -30,7 +30,10 @@ def load_entries(path):
     with open(path) as fh:
         doc = json.load(fh)
     entries = {}
-    for entry in doc.get("entries", []):
+    for position, entry in enumerate(doc.get("entries", [])):
+        if "name" not in entry:
+            sys.exit(f"bench_diff: {path}: entry {position} has no "
+                     f"\"name\" (not a lsqca-bench-v1 document?)")
         entries[entry["name"]] = entry.get("metrics", {})
     return doc, entries
 
@@ -69,14 +72,20 @@ def main():
         print("bench_diff: no shared entries between "
               f"{args.baseline} and {args.candidate}", file=sys.stderr)
         return 1
-    only_base = sorted(set(base) - set(cand))
-    only_cand = sorted(set(cand) - set(base))
-    for name in only_base:
-        print(f"  note: entry only in baseline: {name}")
-    for name in only_cand:
-        print(f"  note: entry only in candidate: {name}")
 
+    # An entry on only one side means the two runs are not the same
+    # experiment (renamed sweep point, truncated shard, partial
+    # merge); name the culprits and fail instead of quietly comparing
+    # the intersection.
     failures = []
+    for name in sorted(set(base) - set(cand)):
+        failures.append(f"entry \"{name}\" is in the baseline "
+                        f"({args.baseline}) but missing from the "
+                        f"candidate ({args.candidate})")
+    for name in sorted(set(cand) - set(base)):
+        failures.append(f"entry \"{name}\" is in the candidate "
+                        f"({args.candidate}) but missing from the "
+                        f"baseline ({args.baseline})")
     compared = 0
     for name in shared:
         b_metrics, c_metrics = base[name], cand[name]

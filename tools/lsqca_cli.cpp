@@ -14,8 +14,22 @@
  * Shards are contiguous slices of the expanded job vector; merged
  * shard BENCH documents are byte-identical to the unsharded run when
  * both use --no-timing. See docs/SPEC.md for the spec schema.
+ *
+ * The orchestration service (src/service, docs/SERVICE.md) fans those
+ * shards across worker processes on this machine:
+ *
+ *   lsqca submit specs/fig13.json --workers 4 --no-timing
+ *   lsqca status bench/service/fig13_cpi
+ *   lsqca resume bench/service/fig13_cpi
+ *
+ * `submit` expands the spec into shard tasks, persists them in
+ * queue.json (schema lsqca-queue-v1), dispatches `lsqca run --shard`
+ * workers, retries crashed/timed-out/straggling shards, serves
+ * already-computed shards from a content-addressed result cache, and
+ * merges the shards into the same artifact a direct run writes.
  */
 
+#include <cstdint>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -26,7 +40,10 @@
 #include "api/serialize.h"
 #include "api/spec.h"
 #include "common/error.h"
+#include "common/fs.h"
+#include "common/subprocess.h"
 #include "common/table.h"
+#include "service/orchestrator.h"
 
 namespace {
 
@@ -47,16 +64,42 @@ usage(std::ostream &out, int code)
         "      --shard i/N       run a contiguous slice of the sweep\n"
         "      --no-timing       zero wall-clock fields (deterministic"
         " output)\n"
+        "      --timeout-seconds S  abort (exit 124) past this wall"
+        " budget\n"
+        "      --seed-check HEX  require this shard fingerprint\n"
         "      --full            builtin specs only: drop prefixes\n"
         "  expand <spec>       validate a spec and print its job list\n"
         "      --shard i/N       print only that slice\n"
         "      --full            builtin specs only: drop prefixes\n"
         "  list                registered benchmarks and builtin specs\n"
-        "  merge <json...>     merge shard BENCH documents\n"
+        "  merge <json|dir...> merge shard BENCH documents (a directory"
+        " adds its BENCH_*.json files)\n"
         "      --out FILE        write merged doc (default stdout)\n"
         "  spec <name>         print a builtin spec (fig13|fig14|fig15|"
         "ablation|smoke)\n"
-        "      --full            drop steady-state prefixes\n";
+        "      --full            drop steady-state prefixes\n"
+        "  submit <spec.json>  run a spec as a multi-worker campaign\n"
+        "      --workers K       concurrent worker processes (default"
+        " 2)\n"
+        "      --shards N        shard count (default min(jobs, 4K))\n"
+        "      --threads N       sweep threads per worker (default 1)\n"
+        "      --state DIR       campaign dir (default bench/service/"
+        "<spec name>)\n"
+        "      --cache DIR       result cache (default <state>/cache)\n"
+        "      --no-cache        disable the result cache\n"
+        "      --out DIR         merged BENCH dir (default <state>)\n"
+        "      --no-timing       deterministic artifact bytes\n"
+        "      --timeout-seconds S  per-attempt hard limit\n"
+        "      --straggler-factor F deadline = F x median shard wall\n"
+        "      --max-attempts M  spawn budget per shard (default 3)\n"
+        "      --no-seed-check   skip worker fingerprint verification\n"
+        "  status <state-dir>  show a campaign's queue\n"
+        "  resume <state-dir>  continue an interrupted campaign\n"
+        "      (accepts the submit runtime flags: --workers, --threads,"
+        " --cache,\n"
+        "       --no-cache, --out, --timeout-seconds, --straggler-"
+        "factor,\n"
+        "       --max-attempts, --no-seed-check)\n";
     return code;
 }
 
@@ -72,6 +115,25 @@ needValue(int argc, char **argv, int &i)
     if (i + 1 >= argc)
         badArg(std::string("missing value for ") + argv[i]);
     return argv[++i];
+}
+
+std::int32_t
+parseCount(const std::string &text, const std::string &flag,
+           std::int32_t min, std::int32_t max)
+{
+    try {
+        std::size_t used = 0;
+        const int value = std::stoi(text, &used);
+        LSQCA_REQUIRE(used == text.size() && value >= min &&
+                          value <= max,
+                      "bad count");
+        return value;
+    } catch (const std::exception &) {
+        throw ConfigError(flag + " expects an integer in [" +
+                          std::to_string(min) + ", " +
+                          std::to_string(max) + "], got \"" + text +
+                          "\"");
+    }
 }
 
 /** Load a spec file, or resolve a builtin name (fig13, smoke, ...). */
@@ -104,6 +166,17 @@ cmdRun(int argc, char **argv)
             options.shard = ShardRange::parse(needValue(argc, argv, i));
         else if (arg == "--no-timing")
             options.noTiming = true;
+        else if (arg == "--timeout-seconds")
+            options.timeoutSeconds =
+                parseTimeoutSeconds(needValue(argc, argv, i));
+        else if (arg == "--seed-check")
+            options.seedCheck =
+                parseFingerprintArg(needValue(argc, argv, i));
+        else if (arg == "--die-after")
+            // Test-only crash hook (see docs/SERVICE.md): simulate N
+            // jobs, then exit kDieAfterExitCode without output.
+            options.dieAfter = parseCount(needValue(argc, argv, i),
+                                          "--die-after", 0, 1 << 30);
         else if (arg == "--full")
             full = true;
         else if (!arg.empty() && arg[0] == '-')
@@ -213,7 +286,16 @@ cmdMerge(int argc, char **argv)
             outPath = needValue(argc, argv, i);
         else if (!arg.empty() && arg[0] == '-')
             badArg("unknown merge option " + arg);
-        else
+        else if (fsutil::isDirectory(arg)) {
+            // A directory contributes its BENCH_*.json files in
+            // name order (shard suffixes sort correctly up to 9
+            // shards; merge re-orders by shard marker anyway).
+            const std::vector<std::string> found =
+                fsutil::listFiles(arg, "BENCH_", ".json");
+            LSQCA_REQUIRE(!found.empty(),
+                          arg + " contains no BENCH_*.json files");
+            paths.insert(paths.end(), found.begin(), found.end());
+        } else
             paths.push_back(arg);
     }
     if (paths.empty())
@@ -223,7 +305,7 @@ cmdMerge(int argc, char **argv)
     docs.reserve(paths.size());
     for (const std::string &path : paths)
         docs.push_back(Json::load(path));
-    const Json merged = mergeBenchReports(docs);
+    const Json merged = mergeBenchReports(docs, paths);
     if (outPath.empty()) {
         std::cout << merged.dump();
     } else {
@@ -256,6 +338,208 @@ cmdSpec(int argc, char **argv)
     return 0;
 }
 
+/**
+ * Shared flag parsing for submit/resume: everything except the spec
+ * argument and --state/--shards/--no-timing semantics, which differ.
+ */
+void
+readServiceFlag(const std::string &arg, int argc, char **argv, int &i,
+                service::OrchestratorOptions &options, bool &known)
+{
+    known = true;
+    if (arg == "--workers")
+        options.workers = parseCount(needValue(argc, argv, i),
+                                     "--workers", 1, 1024);
+    else if (arg == "--threads")
+        options.threadsPerWorker =
+            parseThreadCount(needValue(argc, argv, i));
+    else if (arg == "--cache")
+        options.cacheDir = needValue(argc, argv, i);
+    else if (arg == "--no-cache")
+        options.useCache = false;
+    else if (arg == "--out")
+        options.outDir = needValue(argc, argv, i);
+    else if (arg == "--timeout-seconds")
+        options.timeoutSeconds =
+            parseTimeoutSeconds(needValue(argc, argv, i));
+    else if (arg == "--straggler-factor") {
+        const std::string text = needValue(argc, argv, i);
+        try {
+            std::size_t used = 0;
+            options.stragglerFactor = std::stod(text, &used);
+            LSQCA_REQUIRE(used == text.size() &&
+                              options.stragglerFactor >= 1.0 &&
+                              options.stragglerFactor <= 1e6,
+                          "bad factor");
+        } catch (const std::exception &) {
+            throw ConfigError("--straggler-factor expects a number in "
+                              "[1, 1e6], got \"" +
+                              text + "\"");
+        }
+    } else if (arg == "--max-attempts")
+        options.maxAttempts = parseCount(needValue(argc, argv, i),
+                                         "--max-attempts", 1, 1000);
+    else if (arg == "--no-seed-check")
+        options.seedCheck = false;
+    else if (arg == "--test-die-after")
+        // Test hook: shard first attempts die mid-shard (exit 75)
+        // after N jobs, exercising the crash/retry path.
+        options.firstAttemptExtraArgs = {
+            "--die-after", std::to_string(parseCount(
+                               needValue(argc, argv, i),
+                               "--test-die-after", 0, 1 << 30))};
+    else if (arg == "--test-stop-after")
+        // Test hook: simulate orchestrator death after N dispatches.
+        options.stopAfterDispatches = parseCount(
+            needValue(argc, argv, i), "--test-stop-after", 1, 1 << 30);
+    else
+        known = false;
+}
+
+/** Render a campaign outcome; the shared exit path of submit/resume. */
+int
+reportCampaign(const service::CampaignReport &report,
+               const std::string &stateDir)
+{
+    const service::QueueState &queue = report.queue;
+    std::cerr << "campaign " << queue.campaign << ": "
+              << queue.countWithStatus(service::TaskStatus::Done) << "/"
+              << queue.shardCount << " shards done ("
+              << report.cacheHits << " cached, " << report.spawned
+              << " spawned, " << report.retries << " retries, "
+              << report.stragglersKilled << " stragglers killed)";
+    if (report.complete) {
+        std::cerr << " -> " << report.mergedPath << "\n";
+        return 0;
+    }
+    std::cerr << "\n";
+    if (report.interrupted) {
+        std::cerr << "campaign interrupted (test hook); continue with "
+                     "`lsqca resume "
+                  << stateDir << "`\n";
+        return 3;
+    }
+    for (const service::ShardTask &task : queue.tasks)
+        if (task.status == service::TaskStatus::Failed)
+            std::cerr << "failed shard " << task.index << "/"
+                      << queue.shardCount << " after " << task.attempts
+                      << " attempts: " << task.lastError << "\n";
+    return 1;
+}
+
+int
+cmdSubmit(int argc, char **argv, const char *argv0)
+{
+    std::string specArg;
+    service::OrchestratorOptions options;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        bool known = false;
+        readServiceFlag(arg, argc, argv, i, options, known);
+        if (known)
+            continue;
+        if (arg == "--state")
+            options.stateDir = needValue(argc, argv, i);
+        else if (arg == "--shards")
+            options.shards = parseCount(needValue(argc, argv, i),
+                                        "--shards", 1, 1 << 20);
+        else if (arg == "--no-timing")
+            options.noTiming = true;
+        else if (!arg.empty() && arg[0] == '-')
+            badArg("unknown submit option " + arg);
+        else if (specArg.empty())
+            specArg = arg;
+        else
+            badArg("submit takes exactly one spec");
+    }
+    if (specArg.empty())
+        badArg("submit needs a spec file");
+    LSQCA_REQUIRE(specArg.size() > 5 &&
+                      specArg.substr(specArg.size() - 5) == ".json",
+                  "submit needs a spec *file* (workers re-load it); "
+                  "dump a builtin first: lsqca spec " +
+                      specArg + " > " + specArg + ".json");
+
+    if (options.stateDir.empty())
+        options.stateDir =
+            "bench/service/" + SweepSpec::load(specArg).name;
+    options.workerExe = proc::selfExecutable(argv0);
+    service::Orchestrator orchestrator(options);
+    return reportCampaign(orchestrator.submit(specArg),
+                          options.stateDir);
+}
+
+int
+cmdResume(int argc, char **argv, const char *argv0)
+{
+    std::string stateDir;
+    service::OrchestratorOptions options;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        bool known = false;
+        readServiceFlag(arg, argc, argv, i, options, known);
+        if (known)
+            continue;
+        if (!arg.empty() && arg[0] == '-')
+            badArg("unknown resume option " + arg);
+        else if (stateDir.empty())
+            stateDir = arg;
+        else
+            badArg("resume takes exactly one state dir");
+    }
+    if (stateDir.empty())
+        badArg("resume needs a campaign state dir");
+    options.stateDir = stateDir;
+    options.workerExe = proc::selfExecutable(argv0);
+    service::Orchestrator orchestrator(options);
+    return reportCampaign(orchestrator.resume(), stateDir);
+}
+
+int
+cmdStatus(int argc, char **argv)
+{
+    std::string stateDir;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (!arg.empty() && arg[0] == '-')
+            badArg("unknown status option " + arg);
+        else if (stateDir.empty())
+            stateDir = arg;
+        else
+            badArg("status takes exactly one state dir");
+    }
+    if (stateDir.empty())
+        badArg("status needs a campaign state dir");
+
+    const service::QueueState queue =
+        service::Orchestrator::inspect(stateDir);
+    TextTable table(
+        {"shard", "status", "attempts", "cached", "wall_s", "detail"});
+    for (const service::ShardTask &task : queue.tasks) {
+        const std::string detail = task.lastError.empty()
+                                       ? task.output
+                                       : task.lastError;
+        table.addRow({std::to_string(task.index) + "/" +
+                          std::to_string(queue.shardCount),
+                      service::taskStatusName(task.status),
+                      std::to_string(task.attempts),
+                      task.cached ? "yes" : "no",
+                      TextTable::num(task.wallSeconds, 3), detail});
+    }
+    std::cout << table.render("campaign " + queue.campaign + " (" +
+                              queue.specPath + ")");
+    std::cout << "pending "
+              << queue.countWithStatus(service::TaskStatus::Pending)
+              << ", running "
+              << queue.countWithStatus(service::TaskStatus::Running)
+              << ", done "
+              << queue.countWithStatus(service::TaskStatus::Done)
+              << ", failed "
+              << queue.countWithStatus(service::TaskStatus::Failed)
+              << " of " << queue.shardCount << " shards\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -277,6 +561,12 @@ main(int argc, char **argv)
             return cmdMerge(argc, argv);
         if (command == "spec")
             return cmdSpec(argc, argv);
+        if (command == "submit")
+            return cmdSubmit(argc, argv, argv[0]);
+        if (command == "status")
+            return cmdStatus(argc, argv);
+        if (command == "resume")
+            return cmdResume(argc, argv, argv[0]);
         std::cerr << "lsqca: unknown command \"" << command << "\"\n";
         return usage(std::cerr, 2);
     } catch (const std::exception &e) {
