@@ -15,16 +15,27 @@
 
 #include <chrono>
 #include <cstdint>
+#include <numeric>
 
+#include "arch/line_sam.h"
+#include "arch/point_sam.h"
 #include "bench_util.h"
 #include "circuit/lowering.h"
 #include "circuit/statevector.h"
 #include "common/json.h"
+#include "geom/grid.h"
 #include "synth/benchmarks.h"
 #include "translate/translate.h"
 
 namespace lsqca {
 namespace {
+
+/** Keep @p value live without emitting it (loop bodies under test). */
+inline void
+doNotOptimize(std::int64_t value)
+{
+    asm volatile("" : : "g"(value) : "memory");
+}
 
 double
 now()
@@ -52,9 +63,12 @@ struct Entry
 {
     std::string name;
     double seconds;      ///< best-of wall time per call
-    double perUnitNs;    ///< ns per instruction / amplitude
+    double perUnitNs;    ///< ns per instruction / amplitude / query
     const char *unit;
-    std::int64_t units;  ///< instructions or amplitudes per call
+    std::int64_t units;  ///< instructions/amplitudes/queries per call
+    /** JSON metric key; bank kernels use ns_per_loadCost etc. so
+     *  tools/bench_diff.py gates each query kind by name. */
+    const char *metricKey = "ns_per_unit";
 };
 
 } // namespace
@@ -73,12 +87,13 @@ main(int argc, char **argv)
 
     std::vector<Entry> entries;
     auto record = [&](std::string name, double seconds, const char *unit,
-                      std::int64_t units) {
+                      std::int64_t units,
+                      const char *metric_key = "ns_per_unit") {
         entries.push_back({std::move(name), seconds,
                            units > 0 ? seconds * 1e9 /
                                            static_cast<double>(units)
                                      : 0.0,
-                           unit, units});
+                           unit, units, metric_key});
     };
 
     // ---- simulate() per machine kind -----------------------------------
@@ -113,6 +128,92 @@ main(int argc, char **argv)
         record("simulate/hybrid-line#1/adder",
                bestOf(simReps, [&] { simulate(adder, opts); }),
                "instruction", adder.size());
+    }
+
+    // ---- bank cost-model kernels ---------------------------------------
+    // The point/line simulate() hot path is bound by these queries
+    // (ROADMAP "Performance & benchmarking"); tracking them per query
+    // kind pins the occupancy-index win and gates future regressions.
+    const std::int32_t bankCap = args.smoke ? 99 : 399;
+    const int bankReps = args.smoke ? 3 : 7;
+    std::vector<QubitId> bankVars(static_cast<std::size_t>(bankCap));
+    std::iota(bankVars.begin(), bankVars.end(), 0);
+    {
+        PointSamBank bank(bankCap, Latencies{});
+        bank.placeInitial(bankVars);
+        record("bank/point/loadCost",
+               bestOf(bankReps,
+                      [&] {
+                          std::int64_t sink = 0;
+                          for (QubitId q = 0; q < bankCap; ++q)
+                              sink += bank.loadCost(q);
+                          doNotOptimize(sink);
+                      }),
+               "query", bankCap, "ns_per_loadCost");
+        // Load/locality-store churn: storeCost + commitStore exercise
+        // the nearest-empty index and the makeRoomAt hole walk.
+        record("bank/point/storeCost",
+               bestOf(bankReps,
+                      [&] {
+                          std::int64_t sink = 0;
+                          for (QubitId q = 0; q < bankCap; ++q) {
+                              bank.commitLoad(q);
+                              const bool locality = (q & 1) == 0;
+                              sink += bank.storeCost(q, locality);
+                              bank.commitStore(q, locality);
+                          }
+                          doNotOptimize(sink);
+                      }),
+               "query", bankCap, "ns_per_storeCost");
+    }
+    {
+        LineSamBank bank(bankCap, Latencies{});
+        bank.placeInitial(bankVars);
+        record("bank/line/loadCost",
+               bestOf(bankReps,
+                      [&] {
+                          std::int64_t sink = 0;
+                          for (QubitId q = 0; q < bankCap; ++q)
+                              sink += bank.loadCost(q);
+                          doNotOptimize(sink);
+                      }),
+               "query", bankCap, "ns_per_loadCost");
+        record("bank/line/storeCost",
+               bestOf(bankReps,
+                      [&] {
+                          std::int64_t sink = 0;
+                          for (QubitId q = 0; q < bankCap; ++q) {
+                              bank.commitLoad(q);
+                              const bool locality = (q & 1) == 0;
+                              sink += bank.storeCost(q, locality);
+                              bank.commitStore(q, locality);
+                          }
+                          doNotOptimize(sink);
+                      }),
+               "query", bankCap, "ns_per_storeCost");
+    }
+    {
+        // Near-full grid (the SAM operating point): every cell queried
+        // as a target against a handful of holes.
+        const std::int32_t side = args.smoke ? 16 : 30;
+        OccupancyGrid grid(side, side);
+        QubitId next = 0;
+        for (std::int32_t r = 0; r < side; ++r)
+            for (std::int32_t c = 0; c < side; ++c)
+                if ((r * side + c) % (side * side / 4) != 1)
+                    grid.place(next++, {r, c});
+        record("bank/grid/nearestEmpty",
+               bestOf(bankReps,
+                      [&] {
+                          std::int64_t sink = 0;
+                          for (std::int32_t r = 0; r < side; ++r)
+                              for (std::int32_t c = 0; c < side; ++c)
+                                  sink +=
+                                      grid.nearestEmpty({r, c})->row;
+                          doNotOptimize(sink);
+                      }),
+               "query", static_cast<std::int64_t>(side) * side,
+               "ns_per_nearestEmpty");
     }
 
     // ---- statevector kernels -------------------------------------------
@@ -159,7 +260,7 @@ main(int argc, char **argv)
                       TextTable::num(entry.perUnitNs, 2), entry.unit});
         Json metrics = Json::object();
         metrics.set("wall_seconds", entry.seconds);
-        metrics.set("ns_per_unit", entry.perUnitNs);
+        metrics.set(entry.metricKey, entry.perUnitNs);
         metrics.set("units", entry.units);
         Json jentry = Json::object();
         jentry.set("name", entry.name);

@@ -122,23 +122,33 @@ LineSamBank::commitDirectSurgery(QubitId a, QubitId b)
 LineSamBank::StorePlan
 LineSamBank::storePlan(QubitId q, bool locality) const
 {
+    if (planCache_.q == q && planCache_.locality == locality &&
+        planCache_.version == grid_.version() && planCache_.gap == gap_)
+        return planCache_.plan;
+    StorePlan plan;
     if (!locality) {
         const auto it = homes_.find(q);
         LSQCA_ASSERT(it != homes_.end(), "qubit has no home cell in bank");
-        if (grid_.isEmptyCell(it->second))
-            return {it->second, alignCostToRow(it->second.row) / lat_.move};
-        const auto near = grid_.nearestEmpty(it->second);
-        LSQCA_ASSERT(near.has_value(), "line-SAM bank is full");
-        return {*near, alignCostToRow(near->row) / lat_.move};
+        if (grid_.isEmptyCell(it->second)) {
+            plan = {it->second,
+                    alignCostToRow(it->second.row) / lat_.move};
+        } else {
+            const auto near = grid_.nearestEmpty(it->second);
+            LSQCA_ASSERT(near.has_value(), "line-SAM bank is full");
+            plan = {*near, alignCostToRow(near->row) / lat_.move};
+        }
+    } else {
+        // Locality-aware: drop into a row adjacent to the current gap
+        // (the hot line); the in-flight qubit's hole slides there via
+        // the makeRoomAt insertion, so no gap shifts are needed.
+        const std::int32_t row =
+            gap_ < grid_.rows() ? gap_ : grid_.rows() - 1;
+        const auto hole = grid_.nearestEmpty({row, 0});
+        LSQCA_ASSERT(hole.has_value(), "line-SAM bank is full");
+        plan = {Coord{row, hole->col}, 0};
     }
-    // Locality-aware: drop into a row adjacent to the current gap (the
-    // hot line); the in-flight qubit's hole slides there via the
-    // makeRoomAt insertion, so no gap shifts are needed.
-    const std::int32_t row =
-        gap_ < grid_.rows() ? gap_ : grid_.rows() - 1;
-    const auto hole = grid_.nearestEmpty({row, 0});
-    LSQCA_ASSERT(hole.has_value(), "line-SAM bank is full");
-    return {Coord{row, hole->col}, 0};
+    planCache_ = {grid_.version(), q, locality, gap_, plan};
+    return plan;
 }
 
 std::int64_t

@@ -96,6 +96,23 @@ class LineSamBank
     OccupancyGrid grid_; ///< data rows only; the gap is bookkept aside
     std::int32_t gap_ = 0;
     std::unordered_map<QubitId, Coord> homes_;
+
+    /**
+     * Memo for storePlan: storeCost and commitStore ask for the same
+     * plan back to back. The plan depends on the grid contents and on
+     * the gap position (locality targets the gap-adjacent row, home
+     * stores pay gap shifts), so the key is (qubit, locality,
+     * OccupancyGrid::version(), gap).
+     */
+    struct PlanCache
+    {
+        std::uint64_t version = 0;
+        QubitId q = kNoQubit;
+        bool locality = false;
+        std::int32_t gap = -1;
+        StorePlan plan{};
+    };
+    mutable PlanCache planCache_;
 };
 
 } // namespace lsqca

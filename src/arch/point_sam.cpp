@@ -98,13 +98,18 @@ PointSamBank::commitLoad(QubitId q)
 Coord
 PointSamBank::homeOrNearest(QubitId q) const
 {
+    if (homeCache_.q == q && homeCache_.version == grid_.version())
+        return homeCache_.dest;
     const auto it = homes_.find(q);
     LSQCA_ASSERT(it != homes_.end(), "qubit has no home cell in bank");
-    if (grid_.isEmptyCell(it->second))
-        return it->second;
-    const auto near = grid_.nearestEmpty(it->second);
-    LSQCA_ASSERT(near.has_value(), "point-SAM bank is full");
-    return *near;
+    Coord dest = it->second;
+    if (!grid_.isEmptyCell(dest)) {
+        const auto near = grid_.nearestEmpty(dest);
+        LSQCA_ASSERT(near.has_value(), "point-SAM bank is full");
+        dest = *near;
+    }
+    homeCache_ = {grid_.version(), q, dest};
+    return dest;
 }
 
 Coord

@@ -93,6 +93,20 @@ class PointSamBank
     Coord scan_;
     Coord port_;
     std::unordered_map<QubitId, Coord> homes_;
+
+    /**
+     * Memo for homeOrNearest: the cost model asks for the same
+     * destination twice per store (storeCost then commitStore), and the
+     * answer only changes when the grid mutates — keyed on
+     * OccupancyGrid::version() so invalidation is exact.
+     */
+    struct HomeCache
+    {
+        std::uint64_t version = 0;
+        QubitId q = kNoQubit;
+        Coord dest;
+    };
+    mutable HomeCache homeCache_;
 };
 
 } // namespace lsqca

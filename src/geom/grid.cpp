@@ -1,16 +1,17 @@
 #include "geom/grid.h"
 
-#include <limits>
-
 namespace lsqca {
 
 OccupancyGrid::OccupancyGrid(std::int32_t rows, std::int32_t cols)
-    : rows_(rows), cols_(cols),
-      cells_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
-             kNoQubit)
+    : rows_(rows),
+      cols_(cols),
+      cells_(rows > 0 && cols > 0
+                 ? static_cast<std::size_t>(rows) *
+                       static_cast<std::size_t>(cols)
+                 : 0,
+             kNoQubit),
+      empties_(rows, cols) // validates rows, cols > 0
 {
-    LSQCA_REQUIRE(rows > 0 && cols > 0,
-                  "OccupancyGrid dimensions must be positive");
 }
 
 bool
@@ -42,7 +43,9 @@ OccupancyGrid::place(QubitId q, const Coord &c)
     LSQCA_REQUIRE(cell == kNoQubit, "cell already occupied");
     cell = q;
     positions_.emplace(q, c);
+    empties_.onOccupy(c);
     ++occupied_;
+    ++version_;
 }
 
 Coord
@@ -53,7 +56,9 @@ OccupancyGrid::remove(QubitId q)
     const Coord c = it->second;
     cells_[index(c)] = kNoQubit;
     positions_.erase(it);
+    empties_.onVacate(c);
     --occupied_;
+    ++version_;
     return c;
 }
 
@@ -66,7 +71,10 @@ OccupancyGrid::relocate(QubitId q, const Coord &to)
     LSQCA_REQUIRE(it != positions_.end(), "qubit not placed");
     cells_[index(it->second)] = kNoQubit;
     dest = q;
+    empties_.onVacate(it->second);
+    empties_.onOccupy(to);
     it->second = to;
+    ++version_;
 }
 
 std::optional<Coord>
@@ -89,41 +97,14 @@ OccupancyGrid::locate(QubitId q) const
 std::optional<Coord>
 OccupancyGrid::nearestEmpty(const Coord &target) const
 {
-    std::optional<Coord> best;
-    std::int32_t best_dist = std::numeric_limits<std::int32_t>::max();
-    for (std::int32_t r = 0; r < rows_; ++r) {
-        for (std::int32_t c = 0; c < cols_; ++c) {
-            const Coord cell{r, c};
-            if (!isEmptyCell(cell))
-                continue;
-            const std::int32_t d = manhattan(cell, target);
-            if (d < best_dist) {
-                best_dist = d;
-                best = cell;
-            }
-        }
-    }
-    return best;
+    return empties_.nearestEmpty(target);
 }
 
 std::optional<Coord>
 OccupancyGrid::nearestEmptyInRow(std::int32_t row,
                                  std::int32_t target_col) const
 {
-    LSQCA_REQUIRE(row >= 0 && row < rows_, "row out of range");
-    std::optional<Coord> best;
-    std::int32_t best_dist = std::numeric_limits<std::int32_t>::max();
-    for (std::int32_t c = 0; c < cols_; ++c) {
-        const Coord cell{row, c};
-        if (!isEmptyCell(cell))
-            continue;
-        const std::int32_t d = std::abs(c - target_col);
-        if (d < best_dist) {
-            best_dist = d;
-            best = cell;
-        }
-    }
-    return best;
+    return empties_.nearestEmptyInRow(row, target_col);
 }
 
 std::int32_t
@@ -154,12 +135,7 @@ OccupancyGrid::makeRoomAt(const Coord &dest)
 std::vector<Coord>
 OccupancyGrid::emptyCells() const
 {
-    std::vector<Coord> out;
-    for (std::int32_t r = 0; r < rows_; ++r)
-        for (std::int32_t c = 0; c < cols_; ++c)
-            if (cells_[static_cast<std::size_t>(r * cols_ + c)] == kNoQubit)
-                out.push_back({r, c});
-    return out;
+    return empties_.emptyCells();
 }
 
 } // namespace lsqca

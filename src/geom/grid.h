@@ -15,6 +15,7 @@
 
 #include "common/error.h"
 #include "geom/coord.h"
+#include "geom/occupancy_index.h"
 
 namespace lsqca {
 
@@ -30,6 +31,13 @@ inline constexpr QubitId kNoQubit = -1;
  * Cells hold either a QubitId or are empty (auxiliary). The grid offers
  * placement, removal, relocation, and nearest-empty search; it does not
  * know about scan cells or latency — that policy lives in src/arch.
+ *
+ * Nearest-empty queries are served by an incrementally maintained
+ * OccupancyIndex (updated on every place/remove/relocate) instead of a
+ * full-grid scan; results are bit-identical to the scan, including
+ * tie-breaking. A monotonic version() counter bumps on every mutation
+ * so callers (the bank cost models) can cache derived lookups and
+ * invalidate them precisely.
  */
 class OccupancyGrid
 {
@@ -71,14 +79,23 @@ class OccupancyGrid
     Coord locate(QubitId q) const;
 
     /**
-     * Empty cell minimizing manhattan distance to @p target (ties broken
-     * by row then column for determinism); nullopt when the grid is full.
+     * Empty cell minimizing manhattan distance to @p target; nullopt
+     * when the grid is full.
+     *
+     * Tie-breaking contract (pinned by tests/geom/grid_test.cpp and the
+     * reference-oracle harness): among equal-distance candidates the
+     * smallest row wins, and within that row the smallest column — the
+     * first candidate a row-major scan with a strict "closer than best"
+     * comparison would keep. The bank cost models depend on this order
+     * being stable, so it is part of the API, not an implementation
+     * detail.
      */
     std::optional<Coord> nearestEmpty(const Coord &target) const;
 
     /**
      * Empty cell in row @p row minimizing |col - target_col|, or nullopt
-     * when the row is full.
+     * when the row is full. Equal-distance ties break toward the
+     * smaller column (same scan-order contract as nearestEmpty).
      */
     std::optional<Coord> nearestEmptyInRow(std::int32_t row,
                                            std::int32_t target_col) const;
@@ -97,14 +114,23 @@ class OccupancyGrid
      */
     std::int32_t makeRoomAt(const Coord &dest);
 
+    /**
+     * Monotonic mutation counter: bumped by place/remove/relocate (and
+     * therefore by makeRoomAt). Cache derived lookups keyed on this to
+     * invalidate them exactly when the occupancy changes.
+     */
+    std::uint64_t version() const { return version_; }
+
   private:
     std::size_t index(const Coord &c) const;
 
     std::int32_t rows_;
     std::int32_t cols_;
     std::int32_t occupied_ = 0;
+    std::uint64_t version_ = 0;
     std::vector<QubitId> cells_;
     std::unordered_map<QubitId, Coord> positions_;
+    OccupancyIndex empties_;
 };
 
 } // namespace lsqca

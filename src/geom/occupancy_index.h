@@ -1,0 +1,108 @@
+#ifndef LSQCA_GEOM_OCCUPANCY_INDEX_H
+#define LSQCA_GEOM_OCCUPANCY_INDEX_H
+
+/**
+ * @file
+ * Incrementally maintained empty-cell index for an occupancy grid.
+ *
+ * The bank cost models (src/arch) query nearest-empty cells on every
+ * load/store/seek; a naive scan is O(rows * cols) per query and
+ * dominates point/line simulate(). This index keeps one free-column
+ * bitmask per row plus a bitmask of rows that still have an empty
+ * cell, so occupy/vacate are two bit flips (no allocation — the
+ * makeRoomAt hole walk relocates a qubit per step and must stay cheap)
+ * and nearest-empty queries are word scans over the handful of
+ * candidate rows instead of full-grid sweeps.
+ *
+ * The query results are bit-identical to the row-major reference scan,
+ * including tie-breaking (see nearestEmpty below); the differential
+ * harness in tests/arch/bank_fuzz_test.cpp pins this against the
+ * scan-based reference oracles.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geom/coord.h"
+
+namespace lsqca {
+
+/**
+ * Per-row free-column bitmasks + the bitmask of non-full rows.
+ *
+ * All cells start empty; OccupancyGrid forwards every occupy/vacate
+ * transition. Queries never mutate.
+ */
+class OccupancyIndex
+{
+  public:
+    /** All cells of a rows x cols grid start empty. @pre rows, cols > 0 */
+    OccupancyIndex(std::int32_t rows, std::int32_t cols);
+
+    /** Cell @p c transitions empty -> occupied. @pre c is empty */
+    void onOccupy(const Coord &c);
+
+    /** Cell @p c transitions occupied -> empty. @pre c is occupied */
+    void onVacate(const Coord &c);
+
+    /** Whether the index records @p c as empty (for consistency checks). */
+    bool isEmpty(const Coord &c) const;
+
+    /**
+     * Empty cell minimizing manhattan distance to @p target; ties break
+     * toward the smaller row, then the smaller column — exactly the
+     * order a row-major scan with a strict "closer than best" test
+     * visits candidates. nullopt when the grid is full.
+     */
+    std::optional<Coord> nearestEmpty(const Coord &target) const;
+
+    /**
+     * Empty cell in row @p row minimizing |col - target_col|; ties break
+     * toward the smaller column. nullopt when the row is full.
+     * @pre 0 <= row < rows
+     */
+    std::optional<Coord> nearestEmptyInRow(std::int32_t row,
+                                           std::int32_t target_col) const;
+
+    /** All empty cells, row-major order. */
+    std::vector<Coord> emptyCells() const;
+
+  private:
+    /**
+     * Best free column in @p row for @p target_col under the scan
+     * tie-break (smaller column wins equal distance), or -1 when the
+     * row is full.
+     */
+    std::int32_t bestColInRow(std::int32_t row,
+                              std::int32_t target_col) const;
+
+    /** First free column at or after @p from in @p row, or -1. */
+    std::int32_t nextFreeCol(const std::uint64_t *row,
+                             std::int32_t from) const;
+
+    /** Last free column at or before @p from in @p row, or -1. */
+    std::int32_t prevFreeCol(const std::uint64_t *row,
+                             std::int32_t from) const;
+
+    const std::uint64_t *
+    rowBits(std::int32_t row) const
+    {
+        return freeBits_.data() +
+               static_cast<std::size_t>(row) *
+                   static_cast<std::size_t>(wordsPerRow_);
+    }
+
+    std::int32_t rows_;
+    std::int32_t cols_;
+    std::int32_t wordsPerRow_;
+    /** rows x wordsPerRow words; bit c of a row's words = column c free. */
+    std::vector<std::uint64_t> freeBits_;
+    /** Bit r set when row r has at least one free column. */
+    std::vector<std::uint64_t> rowsWithEmpty_;
+    std::vector<std::int32_t> freeCountByRow_;
+};
+
+} // namespace lsqca
+
+#endif // LSQCA_GEOM_OCCUPANCY_INDEX_H

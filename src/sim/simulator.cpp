@@ -233,66 +233,65 @@ class Machine
         return *banks_[static_cast<std::size_t>(bankOf(m))];
     }
 
-    std::int64_t
-    loadCost(std::int32_t m) const
-    {
-        return bank(m).loadCost(m);
-    }
-
-    void
-    commitLoad(std::int32_t m)
-    {
-        bank(m).commitLoad(m);
-    }
+    // Cost-then-commit pairs against a caller-resolved bank reference:
+    // each exec path looks its bank up once per instruction instead of
+    // once per cost/commit call (the dispatch indirection showed up in
+    // the point/line simulate() profiles next to the scans themselves).
 
     std::int64_t
-    storeCost(std::int32_t m) const
+    takeLoad(Bank &b, std::int32_t m)
     {
-        return bank(m).storeCost(m, cfg_.localityStore);
+        const std::int64_t cost = b.loadCost(m);
+        b.commitLoad(m);
+        return cost;
     }
 
-    void
-    commitStore(std::int32_t m)
+    std::int64_t
+    takeStore(Bank &b, std::int32_t m)
     {
-        bank(m).commitStore(m, cfg_.localityStore);
+        const std::int64_t cost = b.storeCost(m, cfg_.localityStore);
+        b.commitStore(m, cfg_.localityStore);
+        return cost;
+    }
+
+    /** Ablation path: round-trip through the CR instead of in-memory. */
+    std::int64_t
+    takeRoundTrip(Bank &b, std::int32_t m)
+    {
+        // Sequenced explicitly: the store is only legal once the load
+        // has removed m from the grid.
+        const std::int64_t ld = takeLoad(b, m);
+        return ld + takeStore(b, m);
     }
 
     /** Scan/gap travel for an in-memory single-qubit op. */
     std::int64_t
-    inMem1qCost(std::int32_t m) const
+    takeInMem1q(Bank &b, std::int32_t m)
     {
-        if constexpr (KIND == SamKind::Line)
-            return bank(m).alignCost(m);
-        else
-            return bank(m).seekCost(m);
-    }
-
-    void
-    commitInMem1q(std::int32_t m)
-    {
-        if constexpr (KIND == SamKind::Line)
-            bank(m).commitAlign(m);
-        else
-            bank(m).commitSeek(m);
+        if constexpr (KIND == SamKind::Line) {
+            const std::int64_t cost = b.alignCost(m);
+            b.commitAlign(m);
+            return cost;
+        } else {
+            const std::int64_t cost = b.seekCost(m);
+            b.commitSeek(m);
+            return cost;
+        }
     }
 
     /** Positioning for an in-memory two-qubit op against the CR/port. */
     std::int64_t
-    inMem2qCost(std::int32_t m) const
+    takeInMem2q(Bank &b, std::int32_t m)
     {
-        if constexpr (KIND == SamKind::Line)
-            return bank(m).alignCost(m);
-        else
-            return bank(m).fetchToPortCost(m);
-    }
-
-    void
-    commitInMem2q(std::int32_t m)
-    {
-        if constexpr (KIND == SamKind::Line)
-            bank(m).commitAlign(m);
-        else
-            bank(m).commitFetchToPort(m);
+        if constexpr (KIND == SamKind::Line) {
+            const std::int64_t cost = b.alignCost(m);
+            b.commitAlign(m);
+            return cost;
+        } else {
+            const std::int64_t cost = b.fetchToPortCost(m);
+            b.commitFetchToPort(m);
+            return cost;
+        }
     }
 
     // ---- issue helpers --------------------------------------------------
@@ -359,8 +358,7 @@ class Machine
         auto &scan = scanFree(inst.m0);
         const std::int64_t start =
             std::max({var, slot, scan, takeBarrier()});
-        const std::int64_t cost = loadCost(inst.m0);
-        commitLoad(inst.m0);
+        const std::int64_t cost = takeLoad(bank(inst.m0), inst.m0);
         const std::int64_t end = start + cost;
         var = slot = scan = end;
         return {start, end, cost};
@@ -380,8 +378,7 @@ class Machine
         auto &scan = scanFree(inst.m0);
         const std::int64_t start =
             std::max({var, slot, scan, takeBarrier()});
-        const std::int64_t cost = storeCost(inst.m0);
-        commitStore(inst.m0);
+        const std::int64_t cost = takeStore(bank(inst.m0), inst.m0);
         const std::int64_t end = start + cost;
         var = slot = scan = end;
         return {start, end, cost};
@@ -478,6 +475,7 @@ class Machine
             return {start, end, 0};
         }
         auto &scan = scanFree(inst.m0);
+        Bank &b = bank(inst.m0);
 
         // Row-parallel unitaries (Sec. V-C): a second H/S whose target
         // shares the currently-open gap-row window executes in the same
@@ -488,8 +486,7 @@ class Machine
                 barrier_ == 0 && rowBatch_.valid &&
                 rowBatch_.op == inst.op &&
                 rowBatch_.bank == bankOf(inst.m0)) {
-                const std::int32_t row =
-                    bank(inst.m0).positionOf(inst.m0).row;
+                const std::int32_t row = b.positionOf(inst.m0).row;
                 if (row == rowBatch_.row && var <= rowBatch_.start) {
                     var = rowBatch_.end;
                     return {rowBatch_.start, rowBatch_.end, 0};
@@ -498,23 +495,15 @@ class Machine
         }
 
         const std::int64_t start = std::max({var, scan, takeBarrier()});
-        std::int64_t motion;
-        if (cfg_.inMemoryOps) {
-            motion = inMem1qCost(inst.m0);
-            commitInMem1q(inst.m0);
-        } else {
-            // Ablation: round-trip through the CR.
-            motion = loadCost(inst.m0);
-            commitLoad(inst.m0);
-            motion += storeCost(inst.m0);
-            commitStore(inst.m0);
-        }
+        const std::int64_t motion = cfg_.inMemoryOps
+                                        ? takeInMem1q(b, inst.m0)
+                                        : takeRoundTrip(b, inst.m0);
         const std::int64_t end = start + motion + beats;
         var = scan = end;
         if constexpr (KIND == SamKind::Line) {
             if (cfg_.rowParallelOps && cfg_.inMemoryOps) {
                 rowBatch_ = {true, inst.op, bankOf(inst.m0),
-                             bank(inst.m0).positionOf(inst.m0).row,
+                             b.positionOf(inst.m0).row,
                              start + motion, end};
             }
         }
@@ -540,12 +529,12 @@ class Machine
         // (e.g. the magic state PM is fetching) are ready. The memory
         // latency hides behind the magic-state wait.
         auto &scan = scanFree(inst.m0);
+        Bank &b = bank(inst.m0);
         const std::int64_t motion_start =
             std::max({var, scan, takeBarrier()});
         std::int64_t motion;
         if (cfg_.inMemoryOps) {
-            motion = inMem2qCost(inst.m0);
-            commitInMem2q(inst.m0);
+            motion = takeInMem2q(b, inst.m0);
             const std::int64_t surgery_start =
                 std::max(motion_start + motion, slot);
             const std::int64_t end = surgery_start + cfg_.lat.surgery;
@@ -561,10 +550,8 @@ class Machine
             valReady_[static_cast<std::size_t>(inst.v0)] = end;
             return {motion_start, end, motion};
         }
-        motion = loadCost(inst.m0);
-        commitLoad(inst.m0);
-        const std::int64_t st = storeCost(inst.m0);
-        commitStore(inst.m0);
+        motion = takeLoad(b, inst.m0);
+        const std::int64_t st = takeStore(b, inst.m0);
         const std::int64_t surgery_start =
             std::max(motion_start + motion, slot);
         const std::int64_t end = surgery_start + cfg_.lat.surgery + st;
@@ -599,18 +586,12 @@ class Machine
         if (conv0 != conv1) {
             const std::int32_t q = conv0 ? inst.m1 : inst.m0;
             auto &scan = scanFree(q);
+            Bank &b = bank(q);
             const std::int64_t start =
                 std::max({var0, var1, scan, takeBarrier()});
-            std::int64_t motion;
-            if (cfg_.inMemoryOps) {
-                motion = inMem2qCost(q);
-                commitInMem2q(q);
-            } else {
-                motion = loadCost(q);
-                commitLoad(q);
-                motion += storeCost(q);
-                commitStore(q);
-            }
+            const std::int64_t motion = cfg_.inMemoryOps
+                                            ? takeInMem2q(b, q)
+                                            : takeRoundTrip(b, q);
             const std::int64_t end = start + motion + surgery2;
             var0 = var1 = scan = end;
             return {start, end, motion};
@@ -619,6 +600,8 @@ class Machine
         // Both operands live in SAM.
         auto &scan0 = scanFree(inst.m0);
         auto &scan1 = scanFree(inst.m1);
+        Bank &bank0 = bank(inst.m0);
+        Bank &bank1 = bank(inst.m1);
         const bool same_bank = bankOf(inst.m0) == bankOf(inst.m1);
         const std::int64_t start =
             std::max({var0, var1, scan0, scan1, takeBarrier()});
@@ -627,14 +610,10 @@ class Machine
         std::int64_t end;
         if (!cfg_.inMemoryOps) {
             // Ablation: round-trip both operands through the CR.
-            const std::int64_t ld0 = loadCost(inst.m0);
-            commitLoad(inst.m0);
-            const std::int64_t ld1 = loadCost(inst.m1);
-            commitLoad(inst.m1);
-            const std::int64_t st0 = storeCost(inst.m0);
-            commitStore(inst.m0);
-            const std::int64_t st1 = storeCost(inst.m1);
-            commitStore(inst.m1);
+            const std::int64_t ld0 = takeLoad(bank0, inst.m0);
+            const std::int64_t ld1 = takeLoad(bank1, inst.m1);
+            const std::int64_t st0 = takeStore(bank0, inst.m0);
+            const std::int64_t st1 = takeStore(bank1, inst.m1);
             motion = ld0 + ld1 + st0 + st1;
             if (same_bank) {
                 end = start + motion + surgery2;
@@ -655,16 +634,14 @@ class Machine
                 // Drag both operands to the port region (they stay in
                 // memory; locality makes later touches cheap). The
                 // port-side surgery itself does not occupy the scan.
-                motion = inMem2qCost(inst.m0);
-                commitInMem2q(inst.m0);
-                motion += inMem2qCost(inst.m1);
-                commitInMem2q(inst.m1);
+                motion = takeInMem2q(bank0, inst.m0);
+                motion += takeInMem2q(bank0, inst.m1);
                 end = start + motion + surgery2;
                 scan0 = start + motion;
                 var0 = var1 = end;
                 return {start, end, motion};
             } else {
-                Bank &b = bank(inst.m0);
+                Bank &b = bank0;
                 if (cfg_.directSurgery &&
                     b.canDirectSurgery(inst.m0, inst.m1)) {
                     // Extension: lattice surgery straight between two
@@ -681,19 +658,17 @@ class Machine
                     // line (Sec. V-B pairing). Each operand's load cost
                     // is computed once and reused for both the
                     // comparison and the commit path.
-                    const std::int64_t ld0 = loadCost(inst.m0);
-                    const std::int64_t ld1 = loadCost(inst.m1);
+                    const std::int64_t ld0 = b.loadCost(inst.m0);
+                    const std::int64_t ld1 = b.loadCost(inst.m1);
                     const bool load0 = ld0 <= ld1;
                     const std::int32_t loaded =
                         load0 ? inst.m0 : inst.m1;
                     const std::int32_t in_mem =
                         load0 ? inst.m1 : inst.m0;
                     const std::int64_t ld = load0 ? ld0 : ld1;
-                    commitLoad(loaded);
-                    const std::int64_t pos = inMem2qCost(in_mem);
-                    commitInMem2q(in_mem);
-                    const std::int64_t st = storeCost(loaded);
-                    commitStore(loaded);
+                    b.commitLoad(loaded);
+                    const std::int64_t pos = takeInMem2q(b, in_mem);
+                    const std::int64_t st = takeStore(b, loaded);
                     motion = ld + pos + st;
                     end = start + motion + surgery2;
                 }
@@ -703,10 +678,8 @@ class Machine
             // Cross-bank: each bank positions its operand concurrently;
             // the merge path runs through the CR ports. Point scans are
             // released after positioning; line gaps hold their rows.
-            const std::int64_t pos0 = inMem2qCost(inst.m0);
-            commitInMem2q(inst.m0);
-            const std::int64_t pos1 = inMem2qCost(inst.m1);
-            commitInMem2q(inst.m1);
+            const std::int64_t pos0 = takeInMem2q(bank0, inst.m0);
+            const std::int64_t pos1 = takeInMem2q(bank1, inst.m1);
             motion = pos0 + pos1;
             end = start + std::max(pos0, pos1) + surgery2;
             if constexpr (KIND == SamKind::Point) {

@@ -140,6 +140,61 @@ TEST(LineSam, OccupancyBookkeeping)
     EXPECT_EQ(bank.occupancy(), 10);
 }
 
+// ---- golden cost tables ----------------------------------------------------
+//
+// Exact beat counts for small named layouts, worked by hand from the
+// Sec. V line-SAM model: load = gap shifts to the target row + 1 step
+// into the gap + the constant long-range slide; stores add the same
+// shift term for the destination row. Cost drift fails here with a
+// readable per-qubit diff before the differential fuzz harness points
+// at a seed.
+
+TEST(LineSamGolden, FourByFiveLoadCosts)
+{
+    // Capacity 20 -> 4x5 data grid, gap at 0: rows cost 0,1,2,3 shifts,
+    // +1 step-in +2 long move.
+    LineSamBank bank(20, Latencies{});
+    bank.placeInitial(iota(20));
+    const std::int64_t expected[20] = {3, 3, 3, 3, 3, 4, 4, 4, 4, 4,
+                                       5, 5, 5, 5, 5, 6, 6, 6, 6, 6};
+    for (QubitId q = 0; q < 20; ++q)
+        EXPECT_EQ(bank.loadCost(q), expected[q]) << "qubit " << q;
+    for (std::int32_t r = 0; r < 4; ++r)
+        EXPECT_EQ(bank.alignCostToRow(r), r) << "row " << r;
+}
+
+TEST(LineSamGolden, FourByFiveStoreAfterLoad)
+{
+    // Loading q13 (row 2) parks the gap at 2; both store flavors then
+    // need zero shifts: home (2,3) is the freed cell and the locality
+    // row is the gap row, so each costs longMove + move = 3 beats.
+    LineSamBank bank(20, Latencies{});
+    bank.placeInitial(iota(20));
+    bank.commitLoad(13);
+    EXPECT_EQ(bank.gap(), 2);
+    EXPECT_EQ(bank.storeCost(13, /*locality=*/false), 3);
+    EXPECT_EQ(bank.storeCost(13, /*locality=*/true), 3);
+    const Coord dest = bank.commitStore(13, true);
+    EXPECT_EQ(dest, (Coord{2, 3}));
+    EXPECT_EQ(bank.gap(), 2);
+}
+
+TEST(LineSamGolden, FiveByFiveCustomLatencies)
+{
+    // move=2, longMove=5: shifts scale by move, the slide by longMove —
+    // rows cost 0..4 shifts x 2 + 2 step-in + 5.
+    Latencies lat;
+    lat.move = 2;
+    lat.longMove = 5;
+    LineSamBank bank(25, lat);
+    bank.placeInitial(iota(25));
+    const std::int64_t expected[25] = {7,  7,  7,  7,  7,  9,  9,  9,  9,
+                                       9,  11, 11, 11, 11, 11, 13, 13, 13,
+                                       13, 13, 15, 15, 15, 15, 15};
+    for (QubitId q = 0; q < 25; ++q)
+        EXPECT_EQ(bank.loadCost(q), expected[q]) << "qubit " << q;
+}
+
 TEST(LineSam, CapacityValidation)
 {
     EXPECT_THROW(LineSamBank(0, Latencies{}), ConfigError);

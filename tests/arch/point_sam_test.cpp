@@ -192,6 +192,86 @@ TEST(PointSam, FetchToPortRelocatesQubit)
     EXPECT_LE(bank.fetchToPortCost(q), 6);
 }
 
+// ---- golden cost tables ----------------------------------------------------
+//
+// Exact beat counts for small named layouts, worked by hand from the
+// Sec. V cost model (seek = manhattan - 1, pick = 6/5 beats per
+// diagonal/straight compound move with one empty, 4/3 with two, +1 CR
+// entry). Any cost drift fails here with a readable per-qubit diff
+// before the differential fuzz harness points at a seed.
+
+TEST(PointSamGolden, ThreeByThreeLoadCosts)
+{
+    // Capacity 8 -> 3x3 grid, port (1,0), scan starts there, layout:
+    //   q0 q1 q2
+    //   .. q3 q4     (.. = the empty scan/port cell)
+    //   q5 q6 q7
+    PointSamBank bank(8, Latencies{});
+    bank.placeInitial(iota(8));
+    const std::int64_t expected_load[8] = {6, 8, 14, 6, 12, 6, 8, 14};
+    const std::int64_t expected_seek[8] = {0, 1, 2, 0, 1, 0, 1, 2};
+    for (QubitId q = 0; q < 8; ++q) {
+        EXPECT_EQ(bank.loadCost(q), expected_load[q]) << "qubit " << q;
+        EXPECT_EQ(bank.seekCost(q), expected_seek[q]) << "qubit " << q;
+    }
+}
+
+TEST(PointSamGolden, ThreeByThreeStoreCosts)
+{
+    // Loading q4 (home (1,2)) leaves two empties: the port and (1,2).
+    // Home store picks (1,2) back with the two-empty discount
+    // (2 straight x 3 + 1 entry = 7); locality store drops at the port
+    // for the bare CR-exit move.
+    PointSamBank bank(8, Latencies{});
+    bank.placeInitial(iota(8));
+    bank.commitLoad(4);
+    EXPECT_EQ(bank.storeCost(4, /*locality=*/false), 7);
+    EXPECT_EQ(bank.storeCost(4, /*locality=*/true), 1);
+    const Coord dest = bank.commitStore(4, true);
+    EXPECT_EQ(dest, bank.portAnchor());
+    EXPECT_EQ(bank.scanPosition(), dest);
+}
+
+TEST(PointSamGolden, ThreeByThreeTwoEmptyDiscount)
+{
+    // With q0 and q7 loaded out (two holes beyond the scan), every
+    // remaining pick uses the cheap 4/3-beat compound moves.
+    PointSamBank bank(8, Latencies{});
+    bank.placeInitial(iota(8));
+    bank.commitLoad(0);
+    bank.commitLoad(7);
+    const std::int64_t expected[6] = {6, 10, 4, 8, 4, 6}; // q1..q6
+    for (QubitId q = 1; q < 7; ++q)
+        EXPECT_EQ(bank.loadCost(q), expected[q - 1]) << "qubit " << q;
+}
+
+TEST(PointSamGolden, FiveByFiveLoadCosts)
+{
+    // Capacity 24 -> 5x5 grid, port (2,0): the full worked table.
+    PointSamBank bank(24, Latencies{});
+    bank.placeInitial(iota(24));
+    const std::int64_t expected[24] = {12, 14, 16, 22, 28, 6,  8,  14,
+                                       20, 26, 6,  12, 18, 24, 6,  8,
+                                       14, 20, 26, 12, 14, 16, 22, 28};
+    for (QubitId q = 0; q < 24; ++q)
+        EXPECT_EQ(bank.loadCost(q), expected[q]) << "qubit " << q;
+}
+
+TEST(PointSamGolden, ThreeByThreeCustomLatencies)
+{
+    // move=2, pickDiagonal1=7, pickStraight1=4: the same 3x3 layout
+    // re-costed, pinning that every term scales by its own latency.
+    Latencies lat;
+    lat.move = 2;
+    lat.pickDiagonal1 = 7;
+    lat.pickStraight1 = 4;
+    PointSamBank bank(8, lat);
+    bank.placeInitial(iota(8));
+    const std::int64_t expected[8] = {6, 11, 17, 6, 12, 6, 11, 17};
+    for (QubitId q = 0; q < 8; ++q)
+        EXPECT_EQ(bank.loadCost(q), expected[q]) << "qubit " << q;
+}
+
 TEST(PointSam, CapacityValidation)
 {
     EXPECT_THROW(PointSamBank(0, Latencies{}), ConfigError);

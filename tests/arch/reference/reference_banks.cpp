@@ -1,0 +1,466 @@
+#include "reference/reference_banks.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace lsqca::reference {
+
+// ---- ReferenceOccupancyGrid (the seed's scan-based grid) -------------------
+
+ReferenceOccupancyGrid::ReferenceOccupancyGrid(std::int32_t rows,
+                                               std::int32_t cols)
+    : rows_(rows), cols_(cols),
+      cells_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+             kNoQubit)
+{
+    LSQCA_REQUIRE(rows > 0 && cols > 0,
+                  "ReferenceOccupancyGrid dimensions must be positive");
+}
+
+bool
+ReferenceOccupancyGrid::contains(const Coord &c) const
+{
+    return c.row >= 0 && c.row < rows_ && c.col >= 0 && c.col < cols_;
+}
+
+std::size_t
+ReferenceOccupancyGrid::index(const Coord &c) const
+{
+    LSQCA_ASSERT(contains(c), "grid coordinate out of range");
+    return static_cast<std::size_t>(c.row) * static_cast<std::size_t>(cols_)
+           + static_cast<std::size_t>(c.col);
+}
+
+QubitId
+ReferenceOccupancyGrid::at(const Coord &c) const
+{
+    return cells_[index(c)];
+}
+
+void
+ReferenceOccupancyGrid::place(QubitId q, const Coord &c)
+{
+    LSQCA_REQUIRE(q != kNoQubit, "cannot place the sentinel qubit");
+    LSQCA_REQUIRE(!positions_.count(q), "qubit already placed");
+    auto &cell = cells_[index(c)];
+    LSQCA_REQUIRE(cell == kNoQubit, "cell already occupied");
+    cell = q;
+    positions_.emplace(q, c);
+    ++occupied_;
+}
+
+Coord
+ReferenceOccupancyGrid::remove(QubitId q)
+{
+    const auto it = positions_.find(q);
+    LSQCA_REQUIRE(it != positions_.end(), "qubit not placed");
+    const Coord c = it->second;
+    cells_[index(c)] = kNoQubit;
+    positions_.erase(it);
+    --occupied_;
+    return c;
+}
+
+void
+ReferenceOccupancyGrid::relocate(QubitId q, const Coord &to)
+{
+    auto &dest = cells_[index(to)];
+    LSQCA_REQUIRE(dest == kNoQubit, "relocate destination occupied");
+    const auto it = positions_.find(q);
+    LSQCA_REQUIRE(it != positions_.end(), "qubit not placed");
+    cells_[index(it->second)] = kNoQubit;
+    dest = q;
+    it->second = to;
+}
+
+std::optional<Coord>
+ReferenceOccupancyGrid::find(QubitId q) const
+{
+    const auto it = positions_.find(q);
+    if (it == positions_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+Coord
+ReferenceOccupancyGrid::locate(QubitId q) const
+{
+    const auto pos = find(q);
+    LSQCA_REQUIRE(pos.has_value(), "qubit not placed in grid");
+    return *pos;
+}
+
+std::optional<Coord>
+ReferenceOccupancyGrid::nearestEmpty(const Coord &target) const
+{
+    // The contract-defining scan: row-major order, strictly-closer test.
+    std::optional<Coord> best;
+    std::int32_t best_dist = std::numeric_limits<std::int32_t>::max();
+    for (std::int32_t r = 0; r < rows_; ++r) {
+        for (std::int32_t c = 0; c < cols_; ++c) {
+            const Coord cell{r, c};
+            if (!isEmptyCell(cell))
+                continue;
+            const std::int32_t d = manhattan(cell, target);
+            if (d < best_dist) {
+                best_dist = d;
+                best = cell;
+            }
+        }
+    }
+    return best;
+}
+
+std::optional<Coord>
+ReferenceOccupancyGrid::nearestEmptyInRow(std::int32_t row,
+                                          std::int32_t target_col) const
+{
+    LSQCA_REQUIRE(row >= 0 && row < rows_, "row out of range");
+    std::optional<Coord> best;
+    std::int32_t best_dist = std::numeric_limits<std::int32_t>::max();
+    for (std::int32_t c = 0; c < cols_; ++c) {
+        const Coord cell{row, c};
+        if (!isEmptyCell(cell))
+            continue;
+        const std::int32_t d = std::abs(c - target_col);
+        if (d < best_dist) {
+            best_dist = d;
+            best = cell;
+        }
+    }
+    return best;
+}
+
+std::int32_t
+ReferenceOccupancyGrid::makeRoomAt(const Coord &dest)
+{
+    LSQCA_REQUIRE(contains(dest), "makeRoomAt target out of range");
+    if (isEmptyCell(dest))
+        return 0;
+    const auto hole = nearestEmpty(dest);
+    LSQCA_REQUIRE(hole.has_value(), "makeRoomAt on a full grid");
+    Coord cur = *hole;
+    std::int32_t steps = 0;
+    while (!(cur == dest)) {
+        Coord next = cur;
+        if (cur.row != dest.row)
+            next.row += dest.row > cur.row ? 1 : -1;
+        else
+            next.col += dest.col > cur.col ? 1 : -1;
+        const QubitId occupant = at(next);
+        if (occupant != kNoQubit)
+            relocate(occupant, cur);
+        cur = next;
+        ++steps;
+    }
+    return steps;
+}
+
+std::vector<Coord>
+ReferenceOccupancyGrid::emptyCells() const
+{
+    std::vector<Coord> out;
+    for (std::int32_t r = 0; r < rows_; ++r)
+        for (std::int32_t c = 0; c < cols_; ++c)
+            if (cells_[static_cast<std::size_t>(r * cols_ + c)] == kNoQubit)
+                out.push_back({r, c});
+    return out;
+}
+
+// ---- ReferencePointSamBank (the seed's point-SAM cost model) ---------------
+
+namespace {
+
+std::int32_t
+pointGridRowsFor(std::int32_t capacity)
+{
+    return static_cast<std::int32_t>(
+        std::ceil(std::sqrt(static_cast<double>(capacity + 1))));
+}
+
+std::int32_t
+pointGridColsFor(std::int32_t capacity, std::int32_t rows)
+{
+    return static_cast<std::int32_t>((capacity + 1 + rows - 1) / rows);
+}
+
+/** Tightest L x L or L x (L+1) data grid holding @p capacity cells. */
+std::pair<std::int32_t, std::int32_t>
+lineDataGridFor(std::int32_t capacity)
+{
+    auto side = static_cast<std::int32_t>(
+        std::floor(std::sqrt(static_cast<double>(capacity))));
+    if (static_cast<std::int64_t>(side) * side >= capacity)
+        return {side, side};
+    if (static_cast<std::int64_t>(side) * (side + 1) >= capacity)
+        return {side, side + 1};
+    return {side + 1, side + 1};
+}
+
+} // namespace
+
+ReferencePointSamBank::ReferencePointSamBank(std::int32_t capacity,
+                                             const Latencies &lat)
+    : capacity_(capacity), lat_(lat),
+      grid_(pointGridRowsFor(capacity),
+            pointGridColsFor(capacity, pointGridRowsFor(capacity)))
+{
+    LSQCA_REQUIRE(capacity >= 1, "point-SAM bank needs capacity >= 1");
+    port_ = {grid_.rows() / 2, 0};
+    scan_ = port_;
+}
+
+void
+ReferencePointSamBank::placeInitial(const std::vector<QubitId> &vars)
+{
+    LSQCA_REQUIRE(static_cast<std::int32_t>(vars.size()) <= capacity_,
+                  "point-SAM bank over capacity");
+    std::size_t next = 0;
+    for (std::int32_t r = 0; r < grid_.rows() && next < vars.size(); ++r) {
+        for (std::int32_t c = 0; c < grid_.cols() && next < vars.size();
+             ++c) {
+            const Coord cell{r, c};
+            if (cell == port_)
+                continue; // the scan cell's initial position stays empty
+            grid_.place(vars[next], cell);
+            homes_.emplace(vars[next], cell);
+            ++next;
+        }
+    }
+    LSQCA_ASSERT(next == vars.size(), "initial placement did not fit");
+}
+
+std::int64_t
+ReferencePointSamBank::pickCost(const Coord &from, const Coord &to) const
+{
+    const std::int32_t dr = std::abs(from.row - to.row);
+    const std::int32_t dc = std::abs(from.col - to.col);
+    const std::int32_t diag = std::min(dr, dc);
+    const std::int32_t straight = std::max(dr, dc) - diag;
+    const bool two_empty = grid_.emptyCount() >= 2;
+    const std::int64_t diag_cost =
+        two_empty ? lat_.pickDiagonal2 : lat_.pickDiagonal1;
+    const std::int64_t straight_cost =
+        two_empty ? lat_.pickStraight2 : lat_.pickStraight1;
+    return diag * diag_cost + straight * straight_cost;
+}
+
+std::int64_t
+ReferencePointSamBank::seekCost(QubitId q) const
+{
+    const Coord pos = grid_.locate(q);
+    const std::int64_t dist = manhattan(scan_, pos);
+    return std::max<std::int64_t>(0, dist - 1) * lat_.move;
+}
+
+void
+ReferencePointSamBank::commitSeek(QubitId q)
+{
+    scan_ = grid_.locate(q);
+}
+
+std::int64_t
+ReferencePointSamBank::loadCost(QubitId q) const
+{
+    const Coord pos = grid_.locate(q);
+    return seekCost(q) + pickCost(pos, port_) + lat_.move;
+}
+
+void
+ReferencePointSamBank::commitLoad(QubitId q)
+{
+    grid_.remove(q);
+    scan_ = port_;
+}
+
+Coord
+ReferencePointSamBank::homeOrNearest(QubitId q) const
+{
+    const auto it = homes_.find(q);
+    LSQCA_ASSERT(it != homes_.end(), "qubit has no home cell in bank");
+    if (grid_.isEmptyCell(it->second))
+        return it->second;
+    const auto near = grid_.nearestEmpty(it->second);
+    LSQCA_ASSERT(near.has_value(), "point-SAM bank is full");
+    return *near;
+}
+
+Coord
+ReferencePointSamBank::storeDestination(QubitId q, bool locality) const
+{
+    if (!locality)
+        return homeOrNearest(q);
+    return port_;
+}
+
+std::int64_t
+ReferencePointSamBank::storeCost(QubitId q, bool locality) const
+{
+    const Coord dest = storeDestination(q, locality);
+    return lat_.move + pickCost(port_, dest);
+}
+
+Coord
+ReferencePointSamBank::commitStore(QubitId q, bool locality)
+{
+    const Coord dest = storeDestination(q, locality);
+    grid_.makeRoomAt(dest);
+    grid_.place(q, dest);
+    if (homes_.find(q) == homes_.end())
+        homes_.emplace(q, dest);
+    scan_ = dest;
+    return dest;
+}
+
+std::int64_t
+ReferencePointSamBank::fetchToPortCost(QubitId q) const
+{
+    const Coord pos = grid_.locate(q);
+    return seekCost(q) + pickCost(pos, port_);
+}
+
+void
+ReferencePointSamBank::commitFetchToPort(QubitId q)
+{
+    grid_.remove(q);
+    grid_.makeRoomAt(port_);
+    grid_.place(q, port_);
+    scan_ = port_;
+}
+
+// ---- ReferenceLineSamBank (the seed's line-SAM cost model) -----------------
+
+ReferenceLineSamBank::ReferenceLineSamBank(std::int32_t capacity,
+                                           const Latencies &lat)
+    : capacity_(capacity), lat_(lat),
+      grid_(lineDataGridFor(capacity).first, lineDataGridFor(capacity).second)
+{
+    LSQCA_REQUIRE(capacity >= 1, "line-SAM bank needs capacity >= 1");
+}
+
+void
+ReferenceLineSamBank::placeInitial(const std::vector<QubitId> &vars)
+{
+    LSQCA_REQUIRE(static_cast<std::int32_t>(vars.size()) <= capacity_,
+                  "line-SAM bank over capacity");
+    std::size_t next = 0;
+    for (std::int32_t r = 0; r < grid_.rows() && next < vars.size(); ++r) {
+        for (std::int32_t c = 0; c < grid_.cols() && next < vars.size();
+             ++c) {
+            grid_.place(vars[next], {r, c});
+            homes_.emplace(vars[next], Coord{r, c});
+            ++next;
+        }
+    }
+    LSQCA_ASSERT(next == vars.size(), "initial placement did not fit");
+}
+
+std::int64_t
+ReferenceLineSamBank::alignCostToRow(std::int32_t row) const
+{
+    const std::int64_t above = std::abs(gap_ - row);
+    const std::int64_t below = std::abs(gap_ - (row + 1));
+    return std::min(above, below) * lat_.move;
+}
+
+std::int32_t
+ReferenceLineSamBank::nearerGapSide(std::int32_t row) const
+{
+    return std::abs(gap_ - row) <= std::abs(gap_ - (row + 1)) ? row
+                                                              : row + 1;
+}
+
+std::int64_t
+ReferenceLineSamBank::alignCost(QubitId q) const
+{
+    return alignCostToRow(grid_.locate(q).row);
+}
+
+void
+ReferenceLineSamBank::commitAlign(QubitId q)
+{
+    gap_ = nearerGapSide(grid_.locate(q).row);
+}
+
+std::int64_t
+ReferenceLineSamBank::loadCost(QubitId q) const
+{
+    return alignCost(q) + lat_.move + lat_.longMove;
+}
+
+void
+ReferenceLineSamBank::commitLoad(QubitId q)
+{
+    const Coord pos = grid_.locate(q);
+    gap_ = nearerGapSide(pos.row);
+    grid_.remove(q);
+}
+
+bool
+ReferenceLineSamBank::canDirectSurgery(QubitId a, QubitId b) const
+{
+    const std::int32_t ra = grid_.locate(a).row;
+    const std::int32_t rb = grid_.locate(b).row;
+    return std::abs(ra - rb) <= 1;
+}
+
+std::int64_t
+ReferenceLineSamBank::directSurgeryCost(QubitId a, QubitId b) const
+{
+    const std::int32_t ra = grid_.locate(a).row;
+    const std::int32_t rb = grid_.locate(b).row;
+    if (ra == rb)
+        return alignCostToRow(ra);
+    const std::int32_t between = std::max(ra, rb);
+    return std::abs(gap_ - between) * lat_.move;
+}
+
+void
+ReferenceLineSamBank::commitDirectSurgery(QubitId a, QubitId b)
+{
+    const std::int32_t ra = grid_.locate(a).row;
+    const std::int32_t rb = grid_.locate(b).row;
+    gap_ = ra == rb ? nearerGapSide(ra) : std::max(ra, rb);
+}
+
+ReferenceLineSamBank::StorePlan
+ReferenceLineSamBank::storePlan(QubitId q, bool locality) const
+{
+    if (!locality) {
+        const auto it = homes_.find(q);
+        LSQCA_ASSERT(it != homes_.end(), "qubit has no home cell in bank");
+        if (grid_.isEmptyCell(it->second))
+            return {it->second, alignCostToRow(it->second.row) / lat_.move};
+        const auto near = grid_.nearestEmpty(it->second);
+        LSQCA_ASSERT(near.has_value(), "line-SAM bank is full");
+        return {*near, alignCostToRow(near->row) / lat_.move};
+    }
+    const std::int32_t row =
+        gap_ < grid_.rows() ? gap_ : grid_.rows() - 1;
+    const auto hole = grid_.nearestEmpty({row, 0});
+    LSQCA_ASSERT(hole.has_value(), "line-SAM bank is full");
+    return {Coord{row, hole->col}, 0};
+}
+
+std::int64_t
+ReferenceLineSamBank::storeCost(QubitId q, bool locality) const
+{
+    const StorePlan plan = storePlan(q, locality);
+    return plan.shifts * lat_.move + lat_.longMove + lat_.move;
+}
+
+Coord
+ReferenceLineSamBank::commitStore(QubitId q, bool locality)
+{
+    const StorePlan plan = storePlan(q, locality);
+    grid_.makeRoomAt(plan.dest);
+    grid_.place(q, plan.dest);
+    if (homes_.find(q) == homes_.end())
+        homes_.emplace(q, plan.dest);
+    gap_ = nearerGapSide(plan.dest.row);
+    return plan.dest;
+}
+
+} // namespace lsqca::reference

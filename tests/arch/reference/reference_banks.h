@@ -1,0 +1,154 @@
+#ifndef LSQCA_TESTS_ARCH_REFERENCE_REFERENCE_BANKS_H
+#define LSQCA_TESTS_ARCH_REFERENCE_REFERENCE_BANKS_H
+
+/**
+ * @file
+ * Scan-based reference oracles for the SAM bank cost models.
+ *
+ * These are deliberate copies of the pre-index implementations: a
+ * ReferenceOccupancyGrid whose nearestEmpty/nearestEmptyInRow are full
+ * O(rows * cols) row-major scans with a strict "closer than best"
+ * comparison, and ReferencePointSamBank / ReferenceLineSamBank that
+ * recompute every destination from scratch (no memo between cost and
+ * commit). They define the behavioral contract the optimized banks in
+ * src/arch must reproduce bit-for-bit: the differential harness in
+ * tests/arch/bank_fuzz_test.cpp drives an optimized bank and its
+ * oracle through identical op soups and asserts equal costs,
+ * destinations, and scan state at every step.
+ *
+ * Keep these naive. Do not "fix" or optimize them alongside src/arch —
+ * an intentional cost-model change must update both sides AND the
+ * golden tables in point_sam_test.cpp / line_sam_test.cpp.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/config.h"
+#include "geom/coord.h"
+#include "geom/grid.h"
+
+namespace lsqca::reference {
+
+/** Dense occupancy grid with full-scan nearest-empty queries. */
+class ReferenceOccupancyGrid
+{
+  public:
+    ReferenceOccupancyGrid(std::int32_t rows, std::int32_t cols);
+
+    std::int32_t rows() const { return rows_; }
+    std::int32_t cols() const { return cols_; }
+    std::int32_t cellCount() const { return rows_ * cols_; }
+    bool contains(const Coord &c) const;
+    QubitId at(const Coord &c) const;
+    bool isEmptyCell(const Coord &c) const { return at(c) == kNoQubit; }
+    std::int32_t occupiedCount() const { return occupied_; }
+    std::int32_t emptyCount() const { return cellCount() - occupied_; }
+
+    void place(QubitId q, const Coord &c);
+    Coord remove(QubitId q);
+    void relocate(QubitId q, const Coord &to);
+    std::optional<Coord> find(QubitId q) const;
+    Coord locate(QubitId q) const;
+
+    std::optional<Coord> nearestEmpty(const Coord &target) const;
+    std::optional<Coord> nearestEmptyInRow(std::int32_t row,
+                                           std::int32_t target_col) const;
+    std::vector<Coord> emptyCells() const;
+    std::int32_t makeRoomAt(const Coord &dest);
+
+  private:
+    std::size_t index(const Coord &c) const;
+
+    std::int32_t rows_;
+    std::int32_t cols_;
+    std::int32_t occupied_ = 0;
+    std::vector<QubitId> cells_;
+    std::unordered_map<QubitId, Coord> positions_;
+};
+
+/** Scan-based oracle for PointSamBank; same public surface. */
+class ReferencePointSamBank
+{
+  public:
+    ReferencePointSamBank(std::int32_t capacity, const Latencies &lat);
+
+    std::int32_t capacity() const { return capacity_; }
+    std::int32_t occupancy() const { return grid_.occupiedCount(); }
+    std::int32_t rows() const { return grid_.rows(); }
+    std::int32_t cols() const { return grid_.cols(); }
+    Coord scanPosition() const { return scan_; }
+    Coord portAnchor() const { return port_; }
+    bool holds(QubitId q) const { return grid_.find(q).has_value(); }
+    Coord positionOf(QubitId q) const { return grid_.locate(q); }
+
+    void placeInitial(const std::vector<QubitId> &vars);
+    std::int64_t loadCost(QubitId q) const;
+    void commitLoad(QubitId q);
+    std::int64_t storeCost(QubitId q, bool locality) const;
+    Coord commitStore(QubitId q, bool locality);
+    std::int64_t seekCost(QubitId q) const;
+    void commitSeek(QubitId q);
+    std::int64_t fetchToPortCost(QubitId q) const;
+    void commitFetchToPort(QubitId q);
+
+  private:
+    Coord homeOrNearest(QubitId q) const;
+    Coord storeDestination(QubitId q, bool locality) const;
+    std::int64_t pickCost(const Coord &from, const Coord &to) const;
+
+    std::int32_t capacity_;
+    Latencies lat_;
+    ReferenceOccupancyGrid grid_;
+    Coord scan_;
+    Coord port_;
+    std::unordered_map<QubitId, Coord> homes_;
+};
+
+/** Scan-based oracle for LineSamBank; same public surface. */
+class ReferenceLineSamBank
+{
+  public:
+    ReferenceLineSamBank(std::int32_t capacity, const Latencies &lat);
+
+    std::int32_t capacity() const { return capacity_; }
+    std::int32_t occupancy() const { return grid_.occupiedCount(); }
+    std::int32_t dataRows() const { return grid_.rows(); }
+    std::int32_t cols() const { return grid_.cols(); }
+    std::int32_t gap() const { return gap_; }
+    bool holds(QubitId q) const { return grid_.find(q).has_value(); }
+    Coord positionOf(QubitId q) const { return grid_.locate(q); }
+
+    void placeInitial(const std::vector<QubitId> &vars);
+    std::int64_t alignCostToRow(std::int32_t row) const;
+    std::int64_t alignCost(QubitId q) const;
+    void commitAlign(QubitId q);
+    std::int64_t loadCost(QubitId q) const;
+    void commitLoad(QubitId q);
+    std::int64_t storeCost(QubitId q, bool locality) const;
+    Coord commitStore(QubitId q, bool locality);
+    bool canDirectSurgery(QubitId a, QubitId b) const;
+    std::int64_t directSurgeryCost(QubitId a, QubitId b) const;
+    void commitDirectSurgery(QubitId a, QubitId b);
+
+  private:
+    struct StorePlan
+    {
+        Coord dest;
+        std::int64_t shifts;
+    };
+    StorePlan storePlan(QubitId q, bool locality) const;
+    std::int32_t nearerGapSide(std::int32_t row) const;
+
+    std::int32_t capacity_;
+    Latencies lat_;
+    ReferenceOccupancyGrid grid_;
+    std::int32_t gap_ = 0;
+    std::unordered_map<QubitId, Coord> homes_;
+};
+
+} // namespace lsqca::reference
+
+#endif // LSQCA_TESTS_ARCH_REFERENCE_REFERENCE_BANKS_H
