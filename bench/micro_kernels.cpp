@@ -114,6 +114,21 @@ main(int argc, char **argv)
                "instruction", adder.size());
     }
     {
+        // Observer-path overhead probe: same sweep point with one no-op
+        // observer attached, so the event-construction + bank-hook cost
+        // of the OBSERVE instantiation is tracked next to the plain
+        // kernel above (the no-observer path compiles event-free; this
+        // pins what turning telemetry ON costs).
+        SimOptions opts;
+        opts.arch.sam = SamKind::Point;
+        SimObserver null_observer;
+        opts.observers.push_back(&null_observer);
+        record("simulate/point#1/adder/null-observer",
+               bestOf(simReps, [&] { simulate(adder, opts); }),
+               "instruction", adder.size(),
+               "ns_per_instr_null_observer");
+    }
+    {
         SimOptions opts;
         opts.arch.sam = SamKind::Line;
         opts.arch.banks = 4;

@@ -34,7 +34,7 @@ BM_SimulateConventional(benchmark::State &state)
 {
     const Program &p = adderProgram();
     for (auto _ : state) {
-        benchmark::DoNotOptimize(simulateConventional(p, 1));
+        benchmark::DoNotOptimize(simulateConventional(p));
     }
     state.SetItemsProcessed(state.iterations() * p.size());
 }

@@ -35,7 +35,8 @@ main(int argc, char **argv)
 
     TextTable table({"machine", "exec [beats]", "CPI", "density",
                      "overhead", "magic stall [beats]"});
-    const SimResult conv = simulateConventional(program, 1, prefix);
+    const SimResult conv = simulateConventional(
+        program, {.maxInstructions = prefix});
     auto addRow = [&](const std::string &name, const SimResult &r) {
         table.addRow({name, std::to_string(r.execBeats),
                       TextTable::num(r.cpi, 2),

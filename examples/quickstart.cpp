@@ -6,7 +6,10 @@
  *   2. Lower it to Clifford+T.
  *   3. Translate to the LSQCA instruction set (Table I).
  *   4. Simulate it code-beat-accurately on a point-SAM machine and on
- *      the conventional 50%-density baseline.
+ *      the conventional 50%-density baseline, with a StallAttribution
+ *      collector attached so the point-SAM overhead explains itself
+ *      (deeper telemetry tour: examples/trace_tour.cpp and
+ *      docs/OBSERVERS.md).
  *
  * Build & run:  ./build/examples/quickstart
  */
@@ -15,6 +18,7 @@
 
 #include "circuit/circuit.h"
 #include "circuit/lowering.h"
+#include "sim/collectors/stall_attribution.h"
 #include "sim/simulator.h"
 #include "translate/translate.h"
 
@@ -43,12 +47,18 @@ main()
               << program.disassemble(16) << "\n";
 
     // 4. Simulate on a point-SAM machine with one magic-state factory.
+    //    Telemetry is pluggable: any SimObserver attached to the
+    //    options sees the instruction stream; here StallAttribution
+    //    explains where the point-SAM beats go (no more hand-rolled
+    //    trace printing — collectors do it).
     SimOptions lsqca_opts;
     lsqca_opts.arch.sam = SamKind::Point;
     lsqca_opts.arch.factories = 1;
+    collectors::StallAttribution stalls;
+    lsqca_opts.observers = {&stalls};
     const SimResult on_sam = simulate(program, lsqca_opts);
 
-    const SimResult on_conv = simulateConventional(program, 1);
+    const SimResult on_conv = simulateConventional(program);
 
     std::cout << "== results ==\n";
     std::cout << "point-SAM : " << on_sam.execBeats << " beats, CPI "
@@ -61,6 +71,14 @@ main()
                      static_cast<double>(on_conv.execBeats)
               << "x execution time for "
               << on_sam.density() / on_conv.density()
-              << "x memory density\n";
+              << "x memory density\n\n";
+
+    const LatencySplit total = stalls.totals();
+    std::cout << "where the point-SAM beats went: "
+              << total.motionBeats() << " memory motion ("
+              << total.seek << " seek, " << total.pick << " pick, "
+              << total.load << " load, " << total.store << " store), "
+              << total.surgery << " surgery, " << total.compute
+              << " compute, " << total.magicStall << " magic stall\n";
     return 0;
 }

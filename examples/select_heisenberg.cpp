@@ -65,7 +65,7 @@ main(int argc, char **argv)
               << analysis.sequentialFraction() << "\n\n";
 
     // Architecture comparison, factory count 1.
-    const SimResult conv = simulateConventional(program, 1);
+    const SimResult conv = simulateConventional(program);
     const double hot = static_cast<double>(layout.controlBits +
                                            layout.temporalBits) /
                        static_cast<double>(layout.totalQubits);

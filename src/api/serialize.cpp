@@ -125,6 +125,7 @@ toJson(const SimOptions &options)
     doc.set("arch", toJson(options.arch));
     doc.set("max_instructions", options.maxInstructions);
     doc.set("record_trace", options.recordTrace);
+    doc.set("record_breakdown", options.recordBreakdown);
     return doc;
 }
 
@@ -138,9 +139,83 @@ simOptionsFromJson(const Json &doc)
     reader.readInt64("max_instructions", options.maxInstructions, 0,
                      std::numeric_limits<std::int64_t>::max());
     reader.readBool("record_trace", options.recordTrace);
+    reader.readBool("record_breakdown", options.recordBreakdown);
     reader.finish();
     options.arch.validate();
     return options;
+}
+
+Json
+toJson(const LatencySplit &split)
+{
+    Json doc = Json::object();
+    doc.set("load", split.load);
+    doc.set("store", split.store);
+    doc.set("seek", split.seek);
+    doc.set("pick", split.pick);
+    doc.set("align", split.align);
+    doc.set("surgery", split.surgery);
+    doc.set("compute", split.compute);
+    doc.set("magic_stall", split.magicStall);
+    doc.set("sk_wait", split.skWait);
+    return doc;
+}
+
+LatencySplit
+latencySplitFromJson(const Json &doc)
+{
+    LatencySplit split;
+    ObjectReader reader(doc, "split");
+    const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+    reader.readInt64("load", split.load, 0, max);
+    reader.readInt64("store", split.store, 0, max);
+    reader.readInt64("seek", split.seek, 0, max);
+    reader.readInt64("pick", split.pick, 0, max);
+    reader.readInt64("align", split.align, 0, max);
+    reader.readInt64("surgery", split.surgery, 0, max);
+    reader.readInt64("compute", split.compute, 0, max);
+    reader.readInt64("magic_stall", split.magicStall, 0, max);
+    reader.readInt64("sk_wait", split.skWait, 0, max);
+    reader.finish();
+    return split;
+}
+
+Json
+toJson(const std::vector<OpcodeSplit> &breakdown)
+{
+    Json doc = Json::array();
+    for (const OpcodeSplit &row : breakdown) {
+        Json entry = Json::object();
+        entry.set("op", mnemonic(row.op));
+        entry.set("count", row.count);
+        entry.set("beats", row.beats);
+        entry.set("split", toJson(row.split));
+        doc.push(std::move(entry));
+    }
+    return doc;
+}
+
+std::vector<OpcodeSplit>
+breakdownFromJson(const Json &doc)
+{
+    LSQCA_REQUIRE(doc.isArray(), "breakdown must be an array");
+    std::vector<OpcodeSplit> breakdown;
+    for (const Json &entryDoc : doc.items()) {
+        ObjectReader reader(entryDoc, "breakdown entry");
+        OpcodeSplit row;
+        const Json &op = reader.require("op");
+        LSQCA_REQUIRE(op.isString(),
+                      "breakdown entry.op must be a string");
+        row.op = opcodeFromMnemonic(op.asString());
+        const std::int64_t max =
+            std::numeric_limits<std::int64_t>::max();
+        reader.readInt64("count", row.count, 0, max);
+        reader.readInt64("beats", row.beats, 0, max);
+        row.split = latencySplitFromJson(reader.require("split"));
+        reader.finish();
+        breakdown.push_back(row);
+    }
+    return breakdown;
 }
 
 Json

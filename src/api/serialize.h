@@ -51,11 +51,32 @@ void applyArchPatch(ArchConfig &cfg, const Json &patch);
  */
 ArchConfig archConfigFromJson(const Json &doc);
 
-/** Full SimOptions document: arch + max_instructions + record_trace. */
+/**
+ * Full SimOptions document: arch + max_instructions + record_trace +
+ * record_breakdown. SimOptions::observers are runtime-only (borrowed
+ * pointers) and are never serialized; a deserialized options object
+ * always has an empty observer list.
+ */
 Json toJson(const SimOptions &options);
 
 /** Strict deserialization; the embedded arch is validated. */
 SimOptions simOptionsFromJson(const Json &doc);
+
+/** Full LatencySplit object, every component present. */
+Json toJson(const LatencySplit &split);
+
+/** Strict full deserialization (missing keys keep 0). */
+LatencySplit latencySplitFromJson(const Json &doc);
+
+/**
+ * SimResult::breakdown as the `lsqca-bench-v2` "breakdown" array: one
+ * `{op, count, beats, split}` object per executed opcode, in opcode
+ * order.
+ */
+Json toJson(const std::vector<OpcodeSplit> &breakdown);
+
+/** Strict inverse of the breakdown serialization. */
+std::vector<OpcodeSplit> breakdownFromJson(const Json &doc);
 
 /** Translate options: in_memory_ops + cr_slots. */
 Json toJson(const TranslateOptions &options);

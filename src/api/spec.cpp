@@ -20,7 +20,29 @@ namespace lsqca::api {
 namespace {
 
 constexpr const char *kSpecSchema = "lsqca-spec-v1";
-constexpr const char *kBenchSchema = "lsqca-bench-v1";
+constexpr const char *kBenchSchemaV1 = "lsqca-bench-v1";
+constexpr const char *kBenchSchemaV2 = "lsqca-bench-v2";
+
+/** BENCH schema a spec's sweeps will emit (v2 carries breakdowns). */
+const char *
+benchSchemaFor(const SweepSpec &spec)
+{
+    return spec.recordBreakdown ? kBenchSchemaV2 : kBenchSchemaV1;
+}
+
+/** Validate and return a BENCH document's schema string (v1 or v2). */
+std::string
+benchSchemaOf(const Json &doc)
+{
+    const Json &schema = doc.at("schema");
+    LSQCA_REQUIRE(schema.isString() &&
+                      (schema.asString() == kBenchSchemaV1 ||
+                       schema.asString() == kBenchSchemaV2),
+                  std::string("BENCH schema must be \"") +
+                      kBenchSchemaV1 + "\" or \"" + kBenchSchemaV2 +
+                      "\"");
+    return schema.asString();
+}
 
 AxisValue
 axisValueFromJson(const Json &doc, const std::string &axisLabel)
@@ -198,6 +220,7 @@ SweepSpec::fromJson(const Json &doc)
         spec.archBase = *base;
     }
     reader.readBool("record_trace", spec.recordTrace);
+    reader.readBool("record_breakdown", spec.recordBreakdown);
     const Json &axes = reader.require("axes");
     LSQCA_REQUIRE(axes.isArray() && axes.size() > 0,
                   "spec.axes must be a non-empty array");
@@ -246,6 +269,8 @@ SweepSpec::toJson() const
         doc.set("arch_base", archBase);
     if (recordTrace)
         doc.set("record_trace", recordTrace);
+    if (recordBreakdown)
+        doc.set("record_breakdown", recordBreakdown);
     Json axesDoc = Json::array();
     for (const SweepAxis &axis : axes) {
         Json axisDoc = Json::object();
@@ -408,6 +433,7 @@ expandSpec(const SweepSpec &spec, const BenchmarkRegistry &registry)
         job.options.arch = cfg;
         job.options.maxInstructions = prefix;
         job.options.recordTrace = spec.recordTrace;
+        job.options.recordBreakdown = spec.recordBreakdown;
         job.name = renderName(spec.nameTemplate, spec.axes, fragments,
                               cfg.label());
         jobs.push_back(std::move(job));
@@ -433,7 +459,9 @@ shardManifest(const SweepSpec &spec,
     const auto [begin, end] = shard.bounds(jobs.size());
     Json manifest = Json::object();
     manifest.set("schema", "lsqca-shard-v1");
-    manifest.set("bench_schema", kBenchSchema);
+    // The schema the shard's BENCH bytes will carry: a spec that turns
+    // breakdowns on (v2) must miss against cached v1 results.
+    manifest.set("bench_schema", benchSchemaFor(spec));
     manifest.set("engine_epoch", kEngineEpoch);
     manifest.set("sweep", spec.name);
     Json slice = Json::object();
@@ -593,7 +621,8 @@ runSpec(const SweepSpec &spec, BenchmarkRegistry &registry,
         documented.wallSeconds = 0.0;
         documented.jobSeconds.assign(run.jobs.size(), 0.0);
     }
-    run.document = benchReport(spec.name, run.jobs, documented);
+    run.document = benchReport(spec.name, run.jobs, documented,
+                               spec.recordBreakdown);
     if (!options.shard.isWhole()) {
         Json shard = Json::object();
         shard.set("index", options.shard.index);
@@ -639,16 +668,18 @@ mergeBenchReports(const std::vector<Json> &docs,
     };
     std::vector<Piece> pieces;
     std::string bench;
+    std::string schema;
     std::size_t sharded = 0;
     std::int32_t count = 0;
     std::int64_t total = 0;
     for (const Json &doc : docs) {
         LSQCA_REQUIRE(doc.isObject(), "BENCH document must be an object");
-        const Json &schema = doc.at("schema");
-        LSQCA_REQUIRE(schema.isString() &&
-                          schema.asString() == kBenchSchema,
-                      std::string("BENCH schema must be \"") +
-                          kBenchSchema + "\"");
+        const std::string docSchema = benchSchemaOf(doc);
+        if (schema.empty())
+            schema = docSchema;
+        LSQCA_REQUIRE(docSchema == schema,
+                      "cannot merge mixed BENCH schemas: \"" + schema +
+                          "\" vs \"" + docSchema + "\"");
         const std::string docBench = doc.at("bench").asString();
         if (bench.empty())
             bench = docBench;
@@ -740,7 +771,7 @@ mergeBenchReports(const std::vector<Json> &docs,
 
     Json merged = Json::object();
     merged.set("bench", bench);
-    merged.set("schema", kBenchSchema);
+    merged.set("schema", schema);
     merged.set("threads", threads);
     merged.set("jobs", jobCount);
     merged.set("wall_seconds", wallSeconds);

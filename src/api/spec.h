@@ -83,6 +83,13 @@ struct SweepSpec
     Json archBase;
     /** Record memory/magic traces on every job. */
     bool recordTrace = false;
+    /**
+     * Collect per-opcode latency breakdowns on every job; the sweep's
+     * BENCH document then uses schema `lsqca-bench-v2` with a
+     * "breakdown" array per entry (v1 otherwise, byte-identical to
+     * pre-breakdown output).
+     */
+    bool recordBreakdown = false;
     /** Outermost axis first. */
     std::vector<SweepAxis> axes;
 
@@ -258,7 +265,9 @@ SpecRun runSpec(const SweepSpec &spec, BenchmarkRegistry &registry,
  * concatenate in argument order. Duplicate entry names are rejected
  * with an error naming both positions (@p labels, when given, must
  * parallel @p docs and supplies the source name per document —
- * typically its file path).
+ * typically its file path). Accepts `lsqca-bench-v1` and
+ * `lsqca-bench-v2` documents; all inputs must share one schema, which
+ * the merged document keeps.
  */
 Json mergeBenchReports(const std::vector<Json> &docs,
                        const std::vector<std::string> &labels = {});

@@ -41,6 +41,20 @@ class LineSamBank
     bool holds(QubitId q) const { return grid_.find(q).has_value(); }
     Coord positionOf(QubitId q) const { return grid_.locate(q); }
 
+    /** Read-only occupancy view (telemetry: initial-layout snapshots). */
+    const OccupancyGrid &grid() const { return grid_; }
+
+    /**
+     * Bank event hook: forward every data-cell occupy/vacate
+     * (commitLoad, commitStore incl. the makeRoomAt insertion) to
+     * @p listener; nullptr detaches. Borrowed, not owned. Gap motion
+     * is not a cell event — rows keep their logical identity.
+     */
+    void setCellListener(CellListener *listener)
+    {
+        grid_.setCellListener(listener);
+    }
+
     /** Place @p vars row-major (their original "home" cells). */
     void placeInitial(const std::vector<QubitId> &vars);
 

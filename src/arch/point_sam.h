@@ -43,6 +43,19 @@ class PointSamBank
     bool holds(QubitId q) const { return grid_.find(q).has_value(); }
     Coord positionOf(QubitId q) const { return grid_.locate(q); }
 
+    /** Read-only occupancy view (telemetry: initial-layout snapshots). */
+    const OccupancyGrid &grid() const { return grid_; }
+
+    /**
+     * Bank event hook: forward every cell occupy/vacate (commitLoad,
+     * commitStore incl. the makeRoomAt hole walk, commitFetchToPort)
+     * to @p listener; nullptr detaches. Borrowed, not owned.
+     */
+    void setCellListener(CellListener *listener)
+    {
+        grid_.setCellListener(listener);
+    }
+
     /** Place @p vars row-major (their original "home" cells). */
     void placeInitial(const std::vector<QubitId> &vars);
 

@@ -26,6 +26,22 @@ using QubitId = std::int32_t;
 inline constexpr QubitId kNoQubit = -1;
 
 /**
+ * Mutation hook for an OccupancyGrid: every place/remove/relocate is
+ * reported as the cell-level occupy/vacate pair it is (a relocate
+ * vacates the source and occupies the destination, so the makeRoomAt
+ * hole walk reports each shifted occupant). Detached by default; the
+ * simulator attaches one per bank only while observers are present, so
+ * the unobserved path pays a single never-taken branch per mutation.
+ */
+class CellListener
+{
+  public:
+    virtual ~CellListener() = default;
+    virtual void onCellOccupied(QubitId q, const Coord &c) = 0;
+    virtual void onCellVacated(QubitId q, const Coord &c) = 0;
+};
+
+/**
  * Dense rows × cols occupancy grid.
  *
  * Cells hold either a QubitId or are empty (auxiliary). The grid offers
@@ -121,8 +137,20 @@ class OccupancyGrid
      */
     std::uint64_t version() const { return version_; }
 
+    /**
+     * Attach (or detach, with nullptr) the cell-event listener. The
+     * grid does not own it; the caller keeps it alive while attached.
+     */
+    void setCellListener(CellListener *listener)
+    {
+        listener_ = listener;
+    }
+
   private:
     std::size_t index(const Coord &c) const;
+
+    /** relocate() sans notification; returns the vacated cell. */
+    Coord relocateImpl(QubitId q, const Coord &to);
 
     std::int32_t rows_;
     std::int32_t cols_;
@@ -131,6 +159,7 @@ class OccupancyGrid
     std::vector<QubitId> cells_;
     std::unordered_map<QubitId, Coord> positions_;
     OccupancyIndex empties_;
+    CellListener *listener_ = nullptr;
 };
 
 } // namespace lsqca

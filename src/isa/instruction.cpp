@@ -45,6 +45,15 @@ opcodeInfo(Opcode op)
     return kOpcodeTable[idx];
 }
 
+Opcode
+opcodeFromMnemonic(const std::string &name)
+{
+    for (std::size_t idx = 0; idx < kOpcodeTable.size(); ++idx)
+        if (name == kOpcodeTable[idx].mnemonic)
+            return static_cast<Opcode>(idx);
+    throw ConfigError("unknown opcode mnemonic \"" + name + "\"");
+}
+
 std::string
 Instruction::str() const
 {

@@ -94,6 +94,9 @@ mnemonic(Opcode op)
     return opcodeInfo(op).mnemonic;
 }
 
+/** Inverse of mnemonic(). @throws ConfigError on unknown names. */
+Opcode opcodeFromMnemonic(const std::string &name);
+
 /**
  * One decoded LSQCA instruction.
  *

@@ -1,0 +1,171 @@
+#ifndef LSQCA_SIM_COLLECTORS_BANK_HEATMAP_H
+#define LSQCA_SIM_COLLECTORS_BANK_HEATMAP_H
+
+/**
+ * @file
+ * BankHeatmap: per-cell occupancy-beats and touch counts on the SAM
+ * grid, built from bank occupy/vacate events.
+ *
+ * A cell's occupancy-beats accumulate between its occupy event and the
+ * matching vacate (both stamped with the committing instruction's start
+ * beat; initial placement counts from beat 0); cells still occupied at
+ * onSimEnd are closed at execBeats. Touches count occupy events, so the
+ * makeRoomAt hole walk's churn is visible: every occupant it shifts
+ * re-touches a cell.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/observer.h"
+#include "sim/result.h"
+
+namespace lsqca::collectors {
+
+class BankHeatmap : public SimObserver
+{
+  public:
+    /** One cell's accumulated statistics. */
+    struct CellStats
+    {
+        std::int64_t occupancyBeats = 0;
+        std::int64_t touches = 0;
+        /** Open interval start (occupied_ set). */
+        std::int64_t occupiedSince = 0;
+        bool occupied = false;
+    };
+
+    /** One bank's grid of cell statistics. */
+    struct BankStats
+    {
+        std::int32_t rows = 0;
+        std::int32_t cols = 0;
+        std::vector<CellStats> cells; ///< row-major
+
+        const CellStats &
+        at(std::int32_t row, std::int32_t col) const
+        {
+            return cells[static_cast<std::size_t>(row) *
+                             static_cast<std::size_t>(cols) +
+                         static_cast<std::size_t>(col)];
+        }
+    };
+
+    void
+    onSimBegin(const SimBeginEvent &event) override
+    {
+        banks_.clear();
+        execBeats_ = 0;
+        for (const BankLayout &shape : event.banks) {
+            BankStats bank;
+            bank.rows = shape.rows;
+            bank.cols = shape.cols;
+            bank.cells.assign(static_cast<std::size_t>(shape.rows) *
+                                  static_cast<std::size_t>(shape.cols),
+                              CellStats{});
+            banks_.push_back(std::move(bank));
+        }
+    }
+
+    void
+    onBankCell(const BankCellEvent &event) override
+    {
+        CellStats &cell = cellAt(event);
+        if (event.kind == CellEventKind::Occupy) {
+            ++cell.touches;
+            cell.occupied = true;
+            cell.occupiedSince = event.time;
+        } else {
+            if (cell.occupied)
+                cell.occupancyBeats += event.time - cell.occupiedSince;
+            cell.occupied = false;
+        }
+    }
+
+    void
+    onSimEnd(const SimEndEvent &event) override
+    {
+        execBeats_ = event.result->execBeats;
+        for (BankStats &bank : banks_) {
+            for (CellStats &cell : bank.cells) {
+                if (!cell.occupied)
+                    continue;
+                cell.occupancyBeats += execBeats_ - cell.occupiedSince;
+                cell.occupied = false;
+            }
+        }
+    }
+
+    const std::vector<BankStats> &banks() const { return banks_; }
+
+    /** Execution length the open intervals were closed at. */
+    std::int64_t execBeats() const { return execBeats_; }
+
+    /**
+     * Rendered heat table for one bank: occupancy fraction
+     * (occupancy-beats / execBeats) per cell, one table row per grid
+     * row, with the touch count in parentheses.
+     */
+    TextTable
+    table(std::size_t bank) const
+    {
+        const BankStats &stats = banks_[bank];
+        std::vector<std::string> header{"row"};
+        for (std::int32_t c = 0; c < stats.cols; ++c)
+            header.push_back("c" + std::to_string(c));
+        TextTable table(header);
+        for (std::int32_t r = 0; r < stats.rows; ++r) {
+            std::vector<std::string> row{std::to_string(r)};
+            for (std::int32_t c = 0; c < stats.cols; ++c) {
+                const CellStats &cell = stats.at(r, c);
+                const double share =
+                    execBeats_ > 0
+                        ? static_cast<double>(cell.occupancyBeats) /
+                              static_cast<double>(execBeats_)
+                        : 0.0;
+                row.push_back(TextTable::num(share, 2) + " (" +
+                              std::to_string(cell.touches) + ")");
+            }
+            table.addRow(row);
+        }
+        return table;
+    }
+
+  private:
+    CellStats &
+    cellAt(const BankCellEvent &event)
+    {
+        // Banks are announced by onSimBegin; grow defensively anyway so
+        // a collector attached to a hand-driven bank still works.
+        const auto bank = static_cast<std::size_t>(event.bank);
+        if (bank >= banks_.size())
+            banks_.resize(bank + 1);
+        BankStats &stats = banks_[bank];
+        if (event.cell.row >= stats.rows || event.cell.col >= stats.cols) {
+            BankStats grown;
+            grown.rows = std::max(stats.rows, event.cell.row + 1);
+            grown.cols = std::max(stats.cols, event.cell.col + 1);
+            grown.cells.assign(static_cast<std::size_t>(grown.rows) *
+                                   static_cast<std::size_t>(grown.cols),
+                               CellStats{});
+            for (std::int32_t r = 0; r < stats.rows; ++r)
+                for (std::int32_t c = 0; c < stats.cols; ++c)
+                    grown.cells[static_cast<std::size_t>(r) *
+                                    static_cast<std::size_t>(grown.cols) +
+                                static_cast<std::size_t>(c)] =
+                        stats.at(r, c);
+            stats = std::move(grown);
+        }
+        return stats.cells[static_cast<std::size_t>(event.cell.row) *
+                               static_cast<std::size_t>(stats.cols) +
+                           static_cast<std::size_t>(event.cell.col)];
+    }
+
+    std::vector<BankStats> banks_;
+    std::int64_t execBeats_ = 0;
+};
+
+} // namespace lsqca::collectors
+
+#endif // LSQCA_SIM_COLLECTORS_BANK_HEATMAP_H

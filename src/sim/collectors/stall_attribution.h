@@ -1,0 +1,92 @@
+#ifndef LSQCA_SIM_COLLECTORS_STALL_ATTRIBUTION_H
+#define LSQCA_SIM_COLLECTORS_STALL_ATTRIBUTION_H
+
+/**
+ * @file
+ * StallAttribution: per-opcode beats split into compute vs. each
+ * memory-motion component vs. magic stall — the Sec. VI "why does CPI
+ * move" collector. Sums the per-instruction LatencySplits by opcode;
+ * rows() returns only opcodes that actually executed, in opcode order,
+ * which is also the SimResult::breakdown representation.
+ */
+
+#include <array>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/observer.h"
+
+namespace lsqca::collectors {
+
+class StallAttribution : public SimObserver
+{
+  public:
+    void
+    onInstruction(const InstructionEvent &event) override
+    {
+        const auto op = static_cast<std::size_t>(event.inst.op);
+        ++count_[op];
+        beats_[op] += event.end - event.start;
+        split_[op] += event.split;
+    }
+
+    /** Executed opcodes only, in opcode order. */
+    std::vector<OpcodeSplit>
+    rows() const
+    {
+        std::vector<OpcodeSplit> rows;
+        for (std::size_t op = 0; op < kNumOpcodes; ++op) {
+            if (count_[op] == 0)
+                continue;
+            rows.push_back({static_cast<Opcode>(op), count_[op],
+                            beats_[op], split_[op]});
+        }
+        return rows;
+    }
+
+    /** Sum of every per-opcode split. */
+    LatencySplit
+    totals() const
+    {
+        LatencySplit total;
+        for (const LatencySplit &split : split_)
+            total += split;
+        return total;
+    }
+
+    /**
+     * Rendered attribution table. Component columns are occupancy
+     * sums, not a partition of [start, end) — see LatencySplit.
+     */
+    TextTable
+    table() const
+    {
+        TextTable table({"opcode", "count", "beats", "load", "store",
+                         "seek", "pick", "align", "surgery", "compute",
+                         "magic_stall", "sk_wait"});
+        for (const OpcodeSplit &row : rows()) {
+            const LatencySplit &s = row.split;
+            table.addRow({mnemonic(row.op), std::to_string(row.count),
+                          std::to_string(row.beats),
+                          std::to_string(s.load),
+                          std::to_string(s.store),
+                          std::to_string(s.seek),
+                          std::to_string(s.pick),
+                          std::to_string(s.align),
+                          std::to_string(s.surgery),
+                          std::to_string(s.compute),
+                          std::to_string(s.magicStall),
+                          std::to_string(s.skWait)});
+        }
+        return table;
+    }
+
+  private:
+    std::array<std::int64_t, kNumOpcodes> count_{};
+    std::array<std::int64_t, kNumOpcodes> beats_{};
+    std::array<LatencySplit, kNumOpcodes> split_{};
+};
+
+} // namespace lsqca::collectors
+
+#endif // LSQCA_SIM_COLLECTORS_STALL_ATTRIBUTION_H

@@ -1,0 +1,68 @@
+#ifndef LSQCA_SIM_COLLECTORS_TRACE_COLLECTOR_H
+#define LSQCA_SIM_COLLECTORS_TRACE_COLLECTOR_H
+
+/**
+ * @file
+ * TraceCollector: the Fig. 8 trace vectors as an observer.
+ *
+ * Reproduces exactly what the pre-observer simulator recorded inline
+ * under SimOptions::recordTrace — one TraceSample per memory operand at
+ * instruction start, PM retire times, and per-instruction memory-motion
+ * samples. recordTrace is now a thin shim: simulate() attaches one of
+ * these internally and moves its vectors into the SimResult, so the two
+ * surfaces can never drift (pinned by tests/sim/observer_test.cpp).
+ */
+
+#include <vector>
+
+#include "sim/observer.h"
+#include "sim/result.h"
+
+namespace lsqca::collectors {
+
+class TraceCollector : public SimObserver
+{
+  public:
+    void
+    onInstruction(const InstructionEvent &event) override
+    {
+        const OpcodeInfo &info = opcodeInfo(event.inst.op);
+        if (info.numMem >= 1)
+            trace_.push_back({event.start, event.inst.m0});
+        if (info.numMem >= 2)
+            trace_.push_back({event.start, event.inst.m1});
+        if (event.inst.op == Opcode::PM)
+            magicTimes_.push_back(event.end);
+        const std::int64_t motion = event.split.motionBeats();
+        if (motion > 0)
+            motionSamples_.push_back(motion);
+    }
+
+    const std::vector<TraceSample> &trace() const { return trace_; }
+    const std::vector<std::int64_t> &magicTimes() const
+    {
+        return magicTimes_;
+    }
+    const std::vector<std::int64_t> &motionSamples() const
+    {
+        return motionSamples_;
+    }
+
+    /** Move the vectors into @p result (the recordTrace shim). */
+    void
+    moveInto(SimResult &result)
+    {
+        result.trace = std::move(trace_);
+        result.magicTimes = std::move(magicTimes_);
+        result.motionSamples = std::move(motionSamples_);
+    }
+
+  private:
+    std::vector<TraceSample> trace_;
+    std::vector<std::int64_t> magicTimes_;
+    std::vector<std::int64_t> motionSamples_;
+};
+
+} // namespace lsqca::collectors
+
+#endif // LSQCA_SIM_COLLECTORS_TRACE_COLLECTOR_H

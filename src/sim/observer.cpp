@@ -1,0 +1,17 @@
+#include "sim/observer.h"
+
+#include "common/error.h"
+
+namespace lsqca {
+
+const char *
+cellEventKindName(CellEventKind kind)
+{
+    switch (kind) {
+      case CellEventKind::Occupy: return "occupy";
+      case CellEventKind::Vacate: return "vacate";
+    }
+    throw InternalError("unhandled cell-event kind");
+}
+
+} // namespace lsqca

@@ -14,6 +14,7 @@
 
 #include "arch/floorplan.h"
 #include "isa/instruction.h"
+#include "sim/observer.h"
 
 namespace lsqca {
 
@@ -71,6 +72,16 @@ struct SimResult
      * "variable latency" the LSQCA ISA exposes.
      */
     std::vector<std::int64_t> motionSamples;
+
+    /**
+     * Structured per-opcode latency breakdown (only with
+     * SimOptions::recordBreakdown): one entry per opcode that appears
+     * in the simulated prefix, in opcode order, with its beats split
+     * into compute vs. each memory-motion component vs. magic stall.
+     * Serialized by api::toJson / api::breakdownFromJson and carried
+     * by `lsqca-bench-v2` BENCH entries.
+     */
+    std::vector<OpcodeSplit> breakdown;
 
     double
     density() const

@@ -11,12 +11,35 @@
 #include "arch/msf.h"
 #include "arch/point_sam.h"
 #include "common/error.h"
+#include "sim/collectors/stall_attribution.h"
+#include "sim/collectors/trace_collector.h"
 
 namespace lsqca {
 namespace {
 
 /** Where a program variable lives. */
 enum class Region : std::uint8_t { Sam, Conventional };
+
+/**
+ * max over issue-time operands. The exec paths used
+ * std::max(initializer_list) here; once the OBSERVE axis doubled the
+ * Machine instantiations, GCC's unit-growth budget stopped inlining
+ * that overload and every handler paid an out-of-line call per
+ * instruction (+50% on the conventional CX handler). A plain variadic
+ * always inlines.
+ */
+inline std::int64_t
+maxOf(std::int64_t a, std::int64_t b)
+{
+    return b > a ? b : a;
+}
+
+template <typename... Rest>
+inline std::int64_t
+maxOf(std::int64_t a, std::int64_t b, Rest... rest)
+{
+    return maxOf(maxOf(a, b), rest...);
+}
 
 /**
  * The machine: bank state + resource timelines + in-order dataflow
@@ -26,8 +49,15 @@ enum class Region : std::uint8_t { Sam, Conventional };
  * (point vs line vs conventional) resolves at compile time: the hot
  * loop runs with no `cfg_.sam` branches, one concrete bank type, and
  * the conventional machine compiles to the pure-timeline fast path.
+ *
+ * The telemetry layer follows the same discipline: the loop and every
+ * exec path are additionally templated on an OBSERVE flag, so the
+ * no-observer instantiation carries no event construction, no latency
+ * split bookkeeping, and no bank hooks — it compiles to the plain
+ * simulator (the `ns_per_instr_null_observer` micro kernel tracks the
+ * observed path's cost).
  */
-template <SamKind KIND>
+template <SamKind KIND, bool OBSERVE>
 class Machine
 {
     /** Concrete bank model for this specialization (unused for the
@@ -55,8 +85,12 @@ class Machine
         scanFree_.assign(static_cast<std::size_t>(cfg_.banks), 0);
     }
 
-    SimResult
-    run()
+    // Deliberately not inlined into runKind(): letting GCC merge the
+    // observed and unobserved loops into one stack frame measurably
+    // hurt the unobserved loop's register allocation (+50% on the
+    // conventional CX handler).
+    __attribute__((noinline)) SimResult
+    run(const std::vector<SimObserver *> &observers)
     {
         SimResult result;
         result.floorplan =
@@ -64,10 +98,16 @@ class Machine
         std::int64_t limit = prog_.size();
         if (opts_.maxInstructions > 0)
             limit = std::min(limit, opts_.maxInstructions);
+        if constexpr (OBSERVE)
+            beginObservation(observers, limit);
         const Instruction *code = prog_.instructions().data();
-        const bool trace = opts_.recordTrace;
         for (std::int64_t i = 0; i < limit; ++i) {
             const Instruction &inst = code[i];
+            if constexpr (OBSERVE) {
+                split_ = LatencySplit{};
+                curIndex_ = i;
+                pendingCells_.clear();
+            }
             const Step step = execute(inst);
             const auto op_idx = static_cast<std::size_t>(inst.op);
             ++result.opcodeCount[op_idx];
@@ -79,16 +119,29 @@ class Machine
             // denominator.
             result.countedInstructions +=
                 inst.op != Opcode::LD && inst.op != Opcode::ST;
-            if (trace) {
-                const OpcodeInfo &info = opcodeInfo(inst.op);
-                if (info.numMem >= 1)
-                    result.trace.push_back({step.start, inst.m0});
-                if (info.numMem >= 2)
-                    result.trace.push_back({step.start, inst.m1});
-                if (inst.op == Opcode::PM)
-                    result.magicTimes.push_back(step.end);
-                if (step.memoryBeats > 0)
-                    result.motionSamples.push_back(step.memoryBeats);
+            if constexpr (OBSERVE) {
+                InstructionEvent event;
+                event.index = i;
+                event.inst = inst;
+                event.start = step.start;
+                event.end = step.end;
+                event.split = split_;
+                for (SimObserver *observer : observers)
+                    observer->onInstruction(event);
+                if (inst.op == Opcode::PM) {
+                    MagicEvent magic;
+                    magic.index = i;
+                    magic.request = step.start - split_.magicStall;
+                    magic.available = step.start;
+                    magic.end = step.end;
+                    for (SimObserver *observer : observers)
+                        observer->onMagic(magic);
+                }
+                for (BankCellEvent &cell : pendingCells_) {
+                    cell.time = step.start;
+                    for (SimObserver *observer : observers)
+                        observer->onBankCell(cell);
+                }
             }
         }
         result.instructionsSimulated = limit;
@@ -99,6 +152,8 @@ class Machine
                                    result.countedInstructions);
         result.magicConsumed = magic_.consumed();
         result.magicStallBeats = magic_.stallBeats();
+        if constexpr (OBSERVE)
+            endObservation();
         return result;
     }
 
@@ -110,6 +165,103 @@ class Machine
         std::int64_t end = 0;
         std::int64_t memoryBeats = 0;
     };
+
+    // ---- telemetry -----------------------------------------------------
+
+    /** Forwards one bank's grid mutations into pendingCells_. */
+    class CellRecorder final : public CellListener
+    {
+      public:
+        CellRecorder(Machine *machine, std::int32_t bank)
+            : machine_(machine), bank_(bank)
+        {
+        }
+
+        void
+        onCellOccupied(QubitId q, const Coord &c) override
+        {
+            machine_->pendingCells_.push_back(
+                {machine_->curIndex_, 0, bank_, q, c,
+                 CellEventKind::Occupy});
+        }
+
+        void
+        onCellVacated(QubitId q, const Coord &c) override
+        {
+            machine_->pendingCells_.push_back(
+                {machine_->curIndex_, 0, bank_, q, c,
+                 CellEventKind::Vacate});
+        }
+
+      private:
+        Machine *machine_;
+        std::int32_t bank_;
+    };
+
+    void
+    beginObservation(const std::vector<SimObserver *> &observers,
+                     std::int64_t limit)
+    {
+        SimBeginEvent begin;
+        begin.program = &prog_;
+        begin.arch = &cfg_;
+        begin.instructions = limit;
+        if constexpr (KIND != SamKind::Conventional) {
+            for (std::size_t b = 0; b < banks_.size(); ++b) {
+                BankLayout shape;
+                if (banks_[b]) {
+                    shape.rows = banks_[b]->grid().rows();
+                    shape.cols = banks_[b]->grid().cols();
+                    shape.occupancy = banks_[b]->occupancy();
+                }
+                begin.banks.push_back(shape);
+            }
+        }
+        for (SimObserver *observer : observers)
+            observer->onSimBegin(begin);
+
+        if constexpr (KIND != SamKind::Conventional) {
+            // The initial layout as occupy events (index -1, beat 0),
+            // bank-major then row-major — the state every later
+            // occupy/vacate delta applies to.
+            for (std::size_t b = 0; b < banks_.size(); ++b) {
+                if (!banks_[b])
+                    continue;
+                const OccupancyGrid &grid = banks_[b]->grid();
+                for (std::int32_t r = 0; r < grid.rows(); ++r) {
+                    for (std::int32_t c = 0; c < grid.cols(); ++c) {
+                        const QubitId q = grid.at({r, c});
+                        if (q == kNoQubit)
+                            continue;
+                        const BankCellEvent event{
+                            -1, 0, static_cast<std::int32_t>(b), q,
+                            Coord{r, c}, CellEventKind::Occupy};
+                        for (SimObserver *observer : observers)
+                            observer->onBankCell(event);
+                    }
+                }
+                recorders_.push_back(std::make_unique<CellRecorder>(
+                    this, static_cast<std::int32_t>(b)));
+                banks_[b]->setCellListener(recorders_.back().get());
+            }
+        }
+    }
+
+    /**
+     * Detach the bank hooks. The SimEndEvent itself is emitted by
+     * simulate(), after the recordTrace/recordBreakdown shims have
+     * moved their output into the result — observers were promised
+     * the *finished* SimResult, trace vectors and breakdown included.
+     */
+    void
+    endObservation()
+    {
+        if constexpr (KIND != SamKind::Conventional) {
+            for (auto &bank : banks_)
+                if (bank)
+                    bank->setCellListener(nullptr);
+        }
+    }
 
     // ---- setup --------------------------------------------------------
 
@@ -237,12 +389,17 @@ class Machine
     // each exec path looks its bank up once per instruction instead of
     // once per cost/commit call (the dispatch indirection showed up in
     // the point/line simulate() profiles next to the scans themselves).
+    // Each helper also owns its latency-split attribution, so every
+    // exec path charges the right component without repeating itself
+    // (the `if constexpr` strips it from the unobserved instantiation).
 
     std::int64_t
     takeLoad(Bank &b, std::int32_t m)
     {
         const std::int64_t cost = b.loadCost(m);
         b.commitLoad(m);
+        if constexpr (OBSERVE)
+            split_.load += cost;
         return cost;
     }
 
@@ -251,6 +408,8 @@ class Machine
     {
         const std::int64_t cost = b.storeCost(m, cfg_.localityStore);
         b.commitStore(m, cfg_.localityStore);
+        if constexpr (OBSERVE)
+            split_.store += cost;
         return cost;
     }
 
@@ -271,10 +430,14 @@ class Machine
         if constexpr (KIND == SamKind::Line) {
             const std::int64_t cost = b.alignCost(m);
             b.commitAlign(m);
+            if constexpr (OBSERVE)
+                split_.align += cost;
             return cost;
         } else {
             const std::int64_t cost = b.seekCost(m);
             b.commitSeek(m);
+            if constexpr (OBSERVE)
+                split_.seek += cost;
             return cost;
         }
     }
@@ -286,10 +449,14 @@ class Machine
         if constexpr (KIND == SamKind::Line) {
             const std::int64_t cost = b.alignCost(m);
             b.commitAlign(m);
+            if constexpr (OBSERVE)
+                split_.align += cost;
             return cost;
         } else {
             const std::int64_t cost = b.fetchToPortCost(m);
             b.commitFetchToPort(m);
+            if constexpr (OBSERVE)
+                split_.pick += cost;
             return cost;
         }
     }
@@ -351,14 +518,15 @@ class Machine
         if (isConv(inst.m0)) {
             // Conventional-region qubits are always register-adjacent.
             const std::int64_t start =
-                std::max({var, slot, takeBarrier()});
+                maxOf(var, slot, takeBarrier());
             var = slot = start;
             return {start, start, 0};
         }
         auto &scan = scanFree(inst.m0);
         const std::int64_t start =
-            std::max({var, slot, scan, takeBarrier()});
-        const std::int64_t cost = takeLoad(bank(inst.m0), inst.m0);
+            maxOf(var, slot, scan, takeBarrier());
+        const std::int64_t cost =
+            takeLoad(bank(inst.m0), inst.m0);
         const std::int64_t end = start + cost;
         var = slot = scan = end;
         return {start, end, cost};
@@ -371,14 +539,15 @@ class Machine
         auto &var = varReady_[static_cast<std::size_t>(inst.m0)];
         if (isConv(inst.m0)) {
             const std::int64_t start =
-                std::max({var, slot, takeBarrier()});
+                maxOf(var, slot, takeBarrier());
             var = slot = start;
             return {start, start, 0};
         }
         auto &scan = scanFree(inst.m0);
         const std::int64_t start =
-            std::max({var, slot, scan, takeBarrier()});
-        const std::int64_t cost = takeStore(bank(inst.m0), inst.m0);
+            maxOf(var, slot, scan, takeBarrier());
+        const std::int64_t cost =
+            takeStore(bank(inst.m0), inst.m0);
         const std::int64_t end = start + cost;
         var = slot = scan = end;
         return {start, end, cost};
@@ -400,6 +569,8 @@ class Machine
         const std::int64_t req = std::max(slot, takeBarrier());
         const MagicSource::Grant grant = magic_.acquire(req);
         slot = grant.end;
+        if constexpr (OBSERVE)
+            split_.magicStall += grant.start - req;
         return {grant.start, grant.end, 0};
     }
 
@@ -413,6 +584,8 @@ class Machine
                                        : cfg_.lat.phase;
         const std::int64_t end = start + beats;
         slot = end;
+        if constexpr (OBSERVE)
+            split_.compute += beats;
         return {start, end, 0};
     }
 
@@ -432,10 +605,12 @@ class Machine
         auto &slot0 = slotReady_[static_cast<std::size_t>(inst.c0)];
         auto &slot1 = slotReady_[static_cast<std::size_t>(inst.c1)];
         const std::int64_t start =
-            std::max({slot0, slot1, takeBarrier()});
+            maxOf(slot0, slot1, takeBarrier());
         const std::int64_t end = start + cfg_.lat.surgery;
         slot0 = slot1 = end;
         valReady_[static_cast<std::size_t>(inst.v0)] = end;
+        if constexpr (OBSERVE)
+            split_.surgery += cfg_.lat.surgery;
         return {start, end, 0};
     }
 
@@ -447,6 +622,8 @@ class Machine
                      takeBarrier());
         const std::int64_t end = start + cfg_.lat.skWait;
         barrier_ = end; // gates only the next instruction
+        if constexpr (OBSERVE)
+            split_.skWait += cfg_.lat.skWait;
         return {start, end, 0};
     }
 
@@ -472,6 +649,8 @@ class Machine
             const std::int64_t start = std::max(var, takeBarrier());
             const std::int64_t end = start + beats;
             var = end;
+            if constexpr (OBSERVE)
+                split_.compute += beats;
             return {start, end, 0};
         }
         auto &scan = scanFree(inst.m0);
@@ -489,17 +668,21 @@ class Machine
                 const std::int32_t row = b.positionOf(inst.m0).row;
                 if (row == rowBatch_.row && var <= rowBatch_.start) {
                     var = rowBatch_.end;
+                    // A shared window: no split components — the
+                    // motion and compute were charged to the opener.
                     return {rowBatch_.start, rowBatch_.end, 0};
                 }
             }
         }
 
-        const std::int64_t start = std::max({var, scan, takeBarrier()});
-        const std::int64_t motion = cfg_.inMemoryOps
-                                        ? takeInMem1q(b, inst.m0)
-                                        : takeRoundTrip(b, inst.m0);
+        const std::int64_t start = maxOf(var, scan, takeBarrier());
+        const std::int64_t motion =
+            cfg_.inMemoryOps ? takeInMem1q(b, inst.m0)
+                             : takeRoundTrip(b, inst.m0);
         const std::int64_t end = start + motion + beats;
         var = scan = end;
+        if constexpr (OBSERVE)
+            split_.compute += beats;
         if constexpr (KIND == SamKind::Line) {
             if (cfg_.rowParallelOps && cfg_.inMemoryOps) {
                 rowBatch_ = {true, inst.op, bankOf(inst.m0),
@@ -517,10 +700,12 @@ class Machine
         auto &var = varReady_[static_cast<std::size_t>(inst.m0)];
         if (isConv(inst.m0)) {
             const std::int64_t start =
-                std::max({var, slot, takeBarrier()});
+                maxOf(var, slot, takeBarrier());
             const std::int64_t end = start + cfg_.lat.surgery;
             var = slot = end;
             valReady_[static_cast<std::size_t>(inst.v0)] = end;
+            if constexpr (OBSERVE)
+                split_.surgery += cfg_.lat.surgery;
             return {start, end, 0};
         }
         // Concealment (Fig. 1): the scan motion starts as soon as the
@@ -531,8 +716,10 @@ class Machine
         auto &scan = scanFree(inst.m0);
         Bank &b = bank(inst.m0);
         const std::int64_t motion_start =
-            std::max({var, scan, takeBarrier()});
+            maxOf(var, scan, takeBarrier());
         std::int64_t motion;
+        if constexpr (OBSERVE)
+            split_.surgery += cfg_.lat.surgery;
         if (cfg_.inMemoryOps) {
             motion = takeInMem2q(b, inst.m0);
             const std::int64_t surgery_start =
@@ -574,10 +761,12 @@ class Machine
         const std::int64_t surgery2 = 2 * cfg_.lat.surgery;
         const bool conv0 = isConv(inst.m0);
         const bool conv1 = isConv(inst.m1);
+        if constexpr (OBSERVE)
+            split_.surgery += surgery2;
 
         if (conv0 && conv1) {
             const std::int64_t start =
-                std::max({var0, var1, takeBarrier()});
+                maxOf(var0, var1, takeBarrier());
             const std::int64_t end = start + surgery2;
             var0 = var1 = end;
             return {start, end, 0};
@@ -588,10 +777,10 @@ class Machine
             auto &scan = scanFree(q);
             Bank &b = bank(q);
             const std::int64_t start =
-                std::max({var0, var1, scan, takeBarrier()});
-            const std::int64_t motion = cfg_.inMemoryOps
-                                            ? takeInMem2q(b, q)
-                                            : takeRoundTrip(b, q);
+                maxOf(var0, var1, scan, takeBarrier());
+            const std::int64_t motion =
+                cfg_.inMemoryOps ? takeInMem2q(b, q)
+                                 : takeRoundTrip(b, q);
             const std::int64_t end = start + motion + surgery2;
             var0 = var1 = scan = end;
             return {start, end, motion};
@@ -604,7 +793,7 @@ class Machine
         Bank &bank1 = bank(inst.m1);
         const bool same_bank = bankOf(inst.m0) == bankOf(inst.m1);
         const std::int64_t start =
-            std::max({var0, var1, scan0, scan1, takeBarrier()});
+            maxOf(var0, var1, scan0, scan1, takeBarrier());
 
         std::int64_t motion;
         std::int64_t end;
@@ -623,8 +812,6 @@ class Machine
                 scan1 = end;
             }
             scan0 = end;
-            if (!same_bank)
-                scan1 = end;
             var0 = var1 = end;
             return {start, end, motion};
         }
@@ -649,6 +836,8 @@ class Machine
                     // repositions.
                     motion = b.directSurgeryCost(inst.m0, inst.m1);
                     b.commitDirectSurgery(inst.m0, inst.m1);
+                    if constexpr (OBSERVE)
+                        split_.align += motion;
                     end = start + motion + surgery2;
                 } else {
                     // Sec. VI-A translation rule: load the cheaper
@@ -667,7 +856,10 @@ class Machine
                         load0 ? inst.m1 : inst.m0;
                     const std::int64_t ld = load0 ? ld0 : ld1;
                     b.commitLoad(loaded);
-                    const std::int64_t pos = takeInMem2q(b, in_mem);
+                    if constexpr (OBSERVE)
+                        split_.load += ld;
+                    const std::int64_t pos =
+                        takeInMem2q(b, in_mem);
                     const std::int64_t st = takeStore(b, loaded);
                     motion = ld + pos + st;
                     end = start + motion + surgery2;
@@ -721,33 +913,108 @@ class Machine
     std::vector<std::int64_t> scanFree_;
     std::int64_t barrier_ = 0;
     RowBatch rowBatch_;
+
+    // Telemetry state, touched only by the OBSERVE instantiation.
+    LatencySplit split_;
+    std::int64_t curIndex_ = -1;
+    std::vector<BankCellEvent> pendingCells_;
+    std::vector<std::unique_ptr<CellRecorder>> recorders_;
 };
+
+template <SamKind KIND>
+SimResult
+runKind(const Program &program, const SimOptions &options,
+        const std::vector<SimObserver *> &observers)
+{
+    if (observers.empty())
+        return Machine<KIND, false>(program, options).run(observers);
+    return Machine<KIND, true>(program, options).run(observers);
+}
+
+SimResult
+dispatch(const Program &program, const SimOptions &options,
+         const std::vector<SimObserver *> &observers)
+{
+    switch (options.arch.sam) {
+      case SamKind::Point:
+        return runKind<SamKind::Point>(program, options, observers);
+      case SamKind::Line:
+        return runKind<SamKind::Line>(program, options, observers);
+      case SamKind::Conventional:
+        return runKind<SamKind::Conventional>(program, options,
+                                              observers);
+    }
+    throw InternalError("unhandled SAM kind");
+}
+
+} // namespace
+
+namespace {
+
+/** Deliver the SimEndEvent: always last, on the finished result. */
+void
+emitSimEnd(const std::vector<SimObserver *> &observers,
+           const SimResult &result)
+{
+    SimEndEvent end;
+    end.result = &result;
+    for (SimObserver *observer : observers)
+        observer->onSimEnd(end);
+}
 
 } // namespace
 
 SimResult
 simulate(const Program &program, const SimOptions &options)
 {
-    switch (options.arch.sam) {
-      case SamKind::Point:
-        return Machine<SamKind::Point>(program, options).run();
-      case SamKind::Line:
-        return Machine<SamKind::Line>(program, options).run();
-      case SamKind::Conventional:
-        return Machine<SamKind::Conventional>(program, options).run();
+    for (const SimObserver *observer : options.observers)
+        LSQCA_REQUIRE(observer != nullptr,
+                      "SimOptions::observers must not contain nullptr");
+    if (!options.recordTrace && !options.recordBreakdown) {
+        if (options.observers.empty())
+            return dispatch(program, options, options.observers);
+        SimResult result =
+            dispatch(program, options, options.observers);
+        emitSimEnd(options.observers, result);
+        return result;
     }
-    throw InternalError("unhandled SAM kind");
+
+    // The recordTrace / recordBreakdown flags are thin shims over the
+    // built-in collectors: attach one internally, then move its output
+    // into the result, so the legacy surface and the observer API can
+    // never drift. Constructed only on this branch — the plain path
+    // must not pay for zero-initializing the collectors' tables. The
+    // SimEndEvent fires only after the shims have landed, so every
+    // observer's onSimEnd sees the complete result (trace vectors and
+    // breakdown included).
+    collectors::TraceCollector trace_shim;
+    collectors::StallAttribution breakdown_shim;
+    std::vector<SimObserver *> observers = options.observers;
+    if (options.recordTrace)
+        observers.push_back(&trace_shim);
+    if (options.recordBreakdown)
+        observers.push_back(&breakdown_shim);
+
+    SimResult result = dispatch(program, options, observers);
+    if (options.recordTrace)
+        trace_shim.moveInto(result);
+    if (options.recordBreakdown)
+        result.breakdown = breakdown_shim.rows();
+    emitSimEnd(observers, result);
+    return result;
 }
 
 SimResult
-simulateConventional(const Program &program, std::int32_t factories,
-                     std::int64_t max_instructions, bool record_trace)
+simulateConventional(const Program &program,
+                     const ConventionalOptions &options)
 {
     SimOptions opts;
     opts.arch.sam = SamKind::Conventional;
-    opts.arch.factories = factories;
-    opts.maxInstructions = max_instructions;
-    opts.recordTrace = record_trace;
+    opts.arch.factories = options.factories;
+    opts.maxInstructions = options.maxInstructions;
+    opts.recordTrace = options.recordTrace;
+    opts.recordBreakdown = options.recordBreakdown;
+    opts.observers = options.observers;
     return simulate(program, opts);
 }
 

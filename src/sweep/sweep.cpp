@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 
+#include "api/serialize.h"
 #include "common/error.h"
 #include "sweep/thread_pool.h"
 
@@ -95,13 +96,21 @@ SweepEngine::run(const std::vector<SweepJob> &jobs) const
 
 Json
 benchReport(const std::string &benchName,
-            const std::vector<SweepJob> &jobs, const SweepReport &report)
+            const std::vector<SweepJob> &jobs, const SweepReport &report,
+            bool breakdownSchema)
 {
     LSQCA_REQUIRE(jobs.size() == report.results.size(),
                   "job/result arity mismatch");
+    // Jobs that collected structured breakdowns promote the document
+    // to lsqca-bench-v2; plain sweeps keep emitting byte-identical v1.
+    // The caller's flag wins over content sniffing so empty shards of
+    // a breakdown sweep stamp v2 as well (see the header).
+    bool v2 = breakdownSchema;
+    for (const SimResult &r : report.results)
+        v2 = v2 || !r.breakdown.empty();
     Json doc = Json::object();
     doc.set("bench", benchName);
-    doc.set("schema", "lsqca-bench-v1");
+    doc.set("schema", v2 ? "lsqca-bench-v2" : "lsqca-bench-v1");
     doc.set("threads", report.threads);
     doc.set("jobs", static_cast<std::int64_t>(jobs.size()));
     doc.set("wall_seconds", report.wallSeconds);
@@ -118,6 +127,8 @@ benchReport(const std::string &benchName,
         Json entry = Json::object();
         entry.set("name", jobs[i].name);
         entry.set("metrics", std::move(metrics));
+        if (!r.breakdown.empty())
+            entry.set("breakdown", api::toJson(r.breakdown));
         entries.push(std::move(entry));
     }
     doc.set("entries", std::move(entries));

@@ -71,11 +71,20 @@ class SweepEngine
 /**
  * Build the standard BENCH JSON document for a sweep: one entry per
  * job with cpi / exec_beats / memory_beats / magic_stall_beats /
- * density / wall_seconds metrics.
+ * density / wall_seconds metrics. Jobs that collected structured
+ * breakdowns (SimOptions::recordBreakdown) add a per-entry
+ * "breakdown" array and promote the schema to lsqca-bench-v2; plain
+ * sweeps emit byte-identical lsqca-bench-v1 (docs/OBSERVERS.md).
+ *
+ * @p breakdownSchema forces the v2 schema even when no entry carries
+ * a breakdown: a sharded breakdown sweep must stamp v2 on its *empty*
+ * shards too, or the shard set would mix schemas and refuse to merge
+ * (runSpec passes the spec's record_breakdown flag).
  */
 Json benchReport(const std::string &benchName,
                  const std::vector<SweepJob> &jobs,
-                 const SweepReport &report);
+                 const SweepReport &report,
+                 bool breakdownSchema = false);
 
 /**
  * Write @p doc to `<outDir>/BENCH_<benchName>.json` and return the

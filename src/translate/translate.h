@@ -25,16 +25,30 @@
 
 namespace lsqca {
 
-/** Translation options. */
+/**
+ * Translation options. Like SimOptions (sim/simulator.h), this is a
+ * plain options struct with JSON round-trip support in
+ * api/serialize.*; sweep specs patch it per axis (docs/SPEC.md).
+ */
 struct TranslateOptions
 {
     /**
      * Emit in-memory instruction forms (paper default). When false,
-     * every gate is bracketed by explicit LD/ST — the Sec. V-C ablation.
+     * every gate is bracketed by explicit LD/ST — the Sec. V-C
+     * ablation (pair with ArchConfig::inMemoryOps = false so the
+     * machine costs the round trips it is given).
      */
     bool inMemoryOps = true;
 
-    /** Virtual CR slots to round-robin magic states over (>= 2). */
+    /**
+     * Virtual CR slots to round-robin magic states over (>= 2). A
+     * translation-time schedule knob: it spreads consecutive
+     * T-gadgets across CR names so independent gadgets can overlap.
+     * Distinct from ArchConfig::crRegisters, the *machine's* CR cell
+     * count (the paper fixes 2) — the simulator serializes on slot
+     * names, so values beyond crRegisters model an optimistic wider
+     * CR.
+     */
     std::int32_t crSlots = 2;
 };
 

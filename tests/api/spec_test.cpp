@@ -303,6 +303,82 @@ TEST(RunSpec, MergeValidatesThePartition)
     EXPECT_NO_THROW(mergeBenchReports({docs[2], docs[0], docs[1]}));
 }
 
+TEST(RunSpec, BreakdownSpecEmitsBenchV2AndMergesRoundTrip)
+{
+    // record_breakdown promotes the BENCH document to lsqca-bench-v2
+    // with a per-entry breakdown array; sharded v2 documents merge
+    // byte-identically, and v1/v2 documents refuse to mix.
+    SweepSpec spec = toySpec();
+    spec.recordBreakdown = true;
+    const SweepSpec back =
+        SweepSpec::fromJson(Json::parse(spec.toJson().dump()));
+    EXPECT_TRUE(back.recordBreakdown);
+
+    BenchmarkRegistry registry = BenchmarkRegistry::paper();
+    for (const ExpandedJob &job : expandSpec(spec, registry))
+        EXPECT_TRUE(job.options.recordBreakdown) << job.name;
+
+    RunSpecOptions options;
+    options.noTiming = true;
+    options.writeJson = false;
+    const SpecRun whole = runSpec(spec, registry, options);
+    EXPECT_EQ(whole.document.at("schema").asString(), "lsqca-bench-v2");
+    for (const Json &entry : whole.document.at("entries").items()) {
+        const std::vector<OpcodeSplit> breakdown =
+            breakdownFromJson(entry.at("breakdown"));
+        EXPECT_FALSE(breakdown.empty());
+        std::int64_t motion = 0;
+        for (const OpcodeSplit &row : breakdown)
+            motion += row.split.motionBeats();
+        EXPECT_EQ(motion,
+                  entry.at("metrics").at("memory_beats").asInt());
+    }
+
+    std::vector<Json> shardDocs;
+    for (std::int32_t i = 0; i < 2; ++i) {
+        RunSpecOptions shardOptions = options;
+        shardOptions.shard.index = i;
+        shardOptions.shard.count = 2;
+        BenchmarkRegistry shardRegistry = BenchmarkRegistry::paper();
+        shardDocs.push_back(
+            runSpec(spec, shardRegistry, shardOptions).document);
+    }
+    const Json merged = mergeBenchReports(shardDocs);
+    EXPECT_EQ(merged.dump(), whole.document.dump());
+
+    // Over-sharding leaves some shards empty; they must still stamp
+    // the v2 schema (the flag decides, not the entry contents) or the
+    // shard set would mix schemas and refuse to merge.
+    std::vector<Json> overDocs;
+    for (std::int32_t i = 0; i < 10; ++i) {
+        RunSpecOptions shardOptions = options;
+        shardOptions.shard.index = i;
+        shardOptions.shard.count = 10; // > 8 jobs: empty shards exist
+        BenchmarkRegistry shardRegistry = BenchmarkRegistry::paper();
+        overDocs.push_back(
+            runSpec(spec, shardRegistry, shardOptions).document);
+    }
+    for (const Json &doc : overDocs)
+        EXPECT_EQ(doc.at("schema").asString(), "lsqca-bench-v2");
+    EXPECT_EQ(mergeBenchReports(overDocs).dump(),
+              whole.document.dump());
+
+    // The shard fingerprint covers the schema bump: the same spec with
+    // breakdowns off must not address the same cached shard bytes.
+    SweepSpec plain = toySpec();
+    BenchmarkRegistry plainRegistry = BenchmarkRegistry::paper();
+    const auto jobsV2 = expandSpec(spec, registry);
+    const auto jobsV1 = expandSpec(plain, plainRegistry);
+    EXPECT_NE(shardFingerprint(spec, jobsV2, ShardRange{}, true),
+              shardFingerprint(plain, jobsV1, ShardRange{}, true));
+
+    // v1 and v2 documents never merge together.
+    const Json v1doc =
+        runSpec(plain, plainRegistry, options).document;
+    EXPECT_THROW(mergeBenchReports({v1doc, whole.document}),
+                 ConfigError);
+}
+
 TEST(RunSpec, ResultsMatchDirectSimulation)
 {
     const SweepSpec spec = toySpec();

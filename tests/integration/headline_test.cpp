@@ -47,7 +47,7 @@ TEST_F(MultiplierHeadline, LineSamOverheadIsSmallAtOneFactory)
     line.maxInstructions = kPrefix;
     const auto lsqca = simulate(program(), line).execBeats;
     const auto conv =
-        simulateConventional(program(), 1, kPrefix).execBeats;
+        simulateConventional(program(), {.maxInstructions = kPrefix}).execBeats;
     const double overhead =
         static_cast<double>(lsqca) / static_cast<double>(conv);
     EXPECT_GE(overhead, 1.0);
@@ -69,7 +69,7 @@ TEST_F(MultiplierHeadline, InterleavedPlacementRecoversPaperOverhead)
     line.maxInstructions = kPrefix;
     const SimResult r = simulate(program(), line);
     const auto conv =
-        simulateConventional(program(), 1, kPrefix).execBeats;
+        simulateConventional(program(), {.maxInstructions = kPrefix}).execBeats;
     const double overhead =
         static_cast<double>(r.execBeats) / static_cast<double>(conv);
     EXPECT_GE(r.density(), 0.85);
@@ -91,7 +91,7 @@ TEST_F(MultiplierHeadline, MagicBoundAtOneFactory)
     // produces them (Sec. III-B), so the conventional machine spends
     // most of its time stalled on the MSF -- the slack that hides the
     // LSQCA memory latency.
-    const auto conv = simulateConventional(program(), 1, kPrefix);
+    const auto conv = simulateConventional(program(), {.maxInstructions = kPrefix});
     EXPECT_GT(conv.magicStallBeats, conv.execBeats / 2);
 }
 
@@ -108,7 +108,7 @@ TEST(CliffordHeadline, BvCatGhzSufferWithoutMagicBottleneck)
         SimOptions point;
         point.arch.sam = SamKind::Point;
         const auto lsqca = simulate(p, point).execBeats;
-        const auto conv = simulateConventional(p, 1).execBeats;
+        const auto conv = simulateConventional(p).execBeats;
         const double overhead =
             static_cast<double>(lsqca) / static_cast<double>(conv);
         EXPECT_GT(overhead, 3.0) << name;
@@ -126,7 +126,7 @@ TEST(SelectHeadline, HybridReachesHighDensityWithSmallOverhead)
     hybrid.arch.sam = SamKind::Point;
     hybrid.arch.hybridFraction = 0.16;
     const SimResult h = simulate(p, hybrid);
-    const auto conv = simulateConventional(p, 1);
+    const auto conv = simulateConventional(p);
     const double overhead = static_cast<double>(h.execBeats) /
                             static_cast<double>(conv.execBeats);
     EXPECT_GT(h.density(), 0.80);
@@ -140,7 +140,7 @@ TEST(SelectHeadline, PureSamSelectOverheadModestAtOneFactory)
     SimOptions line;
     line.arch.sam = SamKind::Line;
     const auto lsqca = simulate(p, line).execBeats;
-    const auto conv = simulateConventional(p, 1).execBeats;
+    const auto conv = simulateConventional(p).execBeats;
     const double overhead =
         static_cast<double>(lsqca) / static_cast<double>(conv);
     EXPECT_LT(overhead, 2.0);
@@ -158,7 +158,7 @@ TEST(GapHeadline, MoreFactoriesWidenLsqcaGap)
     for (std::int32_t f : {1, 4}) {
         point.arch.factories = f;
         const auto lsqca = simulate(p, point).execBeats;
-        const auto conv = simulateConventional(p, f).execBeats;
+        const auto conv = simulateConventional(p, {.factories = f}).execBeats;
         overheads.push_back(static_cast<double>(lsqca) /
                             static_cast<double>(conv));
     }

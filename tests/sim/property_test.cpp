@@ -114,7 +114,7 @@ TEST_P(SchedulerProperties, SamNeverFasterThanConventional)
     // The conventional baseline has unit-time access and full ILP, so
     // with identical MSF capacity it lower-bounds the SAM machines.
     const Program p = program();
-    const auto conv = simulateConventional(p, 1).execBeats;
+    const auto conv = simulateConventional(p).execBeats;
     const auto sam = simulate(p, options()).execBeats;
     EXPECT_GE(sam, conv);
 }

@@ -40,7 +40,7 @@ TEST(Simulator, ConventionalHadamardTakesThreeBeats)
 {
     Program p(1);
     p.append(inst1M(Opcode::HD_M, 0));
-    const SimResult r = simulateConventional(p, 1);
+    const SimResult r = simulateConventional(p);
     EXPECT_EQ(r.execBeats, 3);
     EXPECT_EQ(r.countedInstructions, 1);
     EXPECT_DOUBLE_EQ(r.cpi, 3.0);
@@ -50,7 +50,7 @@ TEST(Simulator, ConventionalPhaseTakesTwoBeats)
 {
     Program p(1);
     p.append(inst1M(Opcode::PH_M, 0));
-    const SimResult r = simulateConventional(p, 1);
+    const SimResult r = simulateConventional(p);
     EXPECT_EQ(r.execBeats, 2);
 }
 
@@ -59,7 +59,7 @@ TEST(Simulator, IndependentOpsOverlapOnConventional)
     Program p(4);
     for (std::int32_t q = 0; q < 4; ++q)
         p.append(inst1M(Opcode::HD_M, q));
-    const SimResult r = simulateConventional(p, 1);
+    const SimResult r = simulateConventional(p);
     EXPECT_EQ(r.execBeats, 3); // unlimited ILP
 }
 
@@ -68,7 +68,7 @@ TEST(Simulator, DependentOpsSerializeOnSameQubit)
     Program p(1);
     p.append(inst1M(Opcode::HD_M, 0));
     p.append(inst1M(Opcode::PH_M, 0));
-    const SimResult r = simulateConventional(p, 1);
+    const SimResult r = simulateConventional(p);
     EXPECT_EQ(r.execBeats, 5);
 }
 
@@ -108,7 +108,7 @@ TEST(Simulator, MagicBoundExecutionWithOneFactory)
     for (int i = 0; i < 10; ++i)
         c.t(0);
     const Program p = translate(c);
-    const SimResult r = simulateConventional(p, 1);
+    const SimResult r = simulateConventional(p);
     EXPECT_GE(r.execBeats, 8 * 15);
     EXPECT_EQ(r.magicConsumed, 10);
     EXPECT_GT(r.magicStallBeats, 0);
@@ -120,9 +120,9 @@ TEST(Simulator, MoreFactoriesRelieveMagicBound)
     for (int i = 0; i < 20; ++i)
         c.t(i % 4);
     const Program p = translate(c);
-    const auto beats1 = simulateConventional(p, 1).execBeats;
-    const auto beats2 = simulateConventional(p, 2).execBeats;
-    const auto beats4 = simulateConventional(p, 4).execBeats;
+    const auto beats1 = simulateConventional(p).execBeats;
+    const auto beats2 = simulateConventional(p, {.factories = 2}).execBeats;
+    const auto beats4 = simulateConventional(p, {.factories = 4}).execBeats;
     EXPECT_LE(beats2, beats1);
     EXPECT_LE(beats4, beats2);
     EXPECT_LT(beats4, beats1); // strictly better end to end
@@ -188,7 +188,7 @@ TEST(Simulator, CxBetweenConventionalQubitsIsTwoBeats)
     cx.m0 = 0;
     cx.m1 = 1;
     p.append(cx);
-    const SimResult r = simulateConventional(p, 1);
+    const SimResult r = simulateConventional(p);
     EXPECT_EQ(r.execBeats, 2);
 }
 
@@ -227,7 +227,7 @@ TEST(Simulator, HybridFractionOneMatchesConventionalTime)
     hybrid.arch.sam = SamKind::Line;
     hybrid.arch.hybridFraction = 1.0;
     const SimResult h = simulate(p, hybrid);
-    const SimResult c = simulateConventional(p, 1);
+    const SimResult c = simulateConventional(p);
     EXPECT_EQ(h.execBeats, c.execBeats);
     EXPECT_DOUBLE_EQ(h.density(), 0.5);
 }
@@ -393,7 +393,7 @@ TEST(Simulator, CrSlotInstructionsHonorTableLatencies)
     mx.c0 = 0;
     mx.v0 = v;
     p.append(mx);
-    const SimResult r = simulateConventional(p, 1);
+    const SimResult r = simulateConventional(p);
     EXPECT_EQ(r.execBeats, 0 + 3 + 2 + 0);
 }
 
@@ -417,7 +417,7 @@ TEST(Simulator, TwoSlotSurgerySerializesOnBothSlots)
     mz.c0 = 0;
     mz.v0 = v1;
     p.append(mz);
-    const SimResult r = simulateConventional(p, 1);
+    const SimResult r = simulateConventional(p);
     EXPECT_EQ(r.execBeats, 3 + 1);
 }
 

@@ -26,15 +26,37 @@ import re
 import sys
 
 
+KNOWN_SCHEMAS = ("lsqca-bench-v1", "lsqca-bench-v2")
+
+
 def load_entries(path):
+    """Load a BENCH document (v1 or v2) as {entry name: flat metrics}.
+
+    v2 entries carry a "breakdown" array (per-opcode latency splits,
+    docs/OBSERVERS.md); it is flattened into dotted metric keys
+    (breakdown.CX.pick, breakdown.CX.count, ...) so --exact can cover
+    them. Comparing a v1 baseline against a v2 candidate (or vice
+    versa) works: only metrics present on both sides are compared.
+    """
     with open(path) as fh:
         doc = json.load(fh)
+    schema = doc.get("schema")
+    if schema is not None and schema not in KNOWN_SCHEMAS:
+        sys.exit(f"bench_diff: {path}: unknown schema {schema!r} "
+                 f"(expected one of {', '.join(KNOWN_SCHEMAS)})")
     entries = {}
     for position, entry in enumerate(doc.get("entries", [])):
         if "name" not in entry:
             sys.exit(f"bench_diff: {path}: entry {position} has no "
-                     f"\"name\" (not a lsqca-bench-v1 document?)")
-        entries[entry["name"]] = entry.get("metrics", {})
+                     f"\"name\" (not a lsqca-bench document?)")
+        metrics = dict(entry.get("metrics", {}))
+        for row in entry.get("breakdown", []):
+            prefix = f"breakdown.{row.get('op', '?')}"
+            metrics[f"{prefix}.count"] = row.get("count", 0)
+            metrics[f"{prefix}.beats"] = row.get("beats", 0)
+            for component, beats in row.get("split", {}).items():
+                metrics[f"{prefix}.{component}"] = beats
+        entries[entry["name"]] = metrics
     return doc, entries
 
 

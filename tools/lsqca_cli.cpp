@@ -35,6 +35,9 @@
 #include <string>
 #include <vector>
 
+#include <cstdio>
+#include <fstream>
+
 #include "api/paper_specs.h"
 #include "api/registry.h"
 #include "api/serialize.h"
@@ -44,6 +47,11 @@
 #include "common/subprocess.h"
 #include "common/table.h"
 #include "service/orchestrator.h"
+#include "sim/collectors/bank_heatmap.h"
+#include "sim/collectors/jsonl_writer.h"
+#include "sim/collectors/stall_attribution.h"
+#include "sim/collectors/timeline.h"
+#include "sim/collectors/trace_collector.h"
 
 namespace {
 
@@ -57,6 +65,18 @@ usage(std::ostream &out, int code)
         "usage: lsqca <command> [options]\n"
         "\n"
         "commands:\n"
+        "  trace <spec>        run ONE job of a spec with telemetry\n"
+        "                      collectors attached (docs/OBSERVERS.md)\n"
+        "      --job N           job index in the expanded sweep (default"
+        " 0)\n"
+        "      --events FILE     write JSONL events here (\"-\" = stdout;\n"
+        "                        default <out>/TRACE_<spec>.jsonl)\n"
+        "      --out DIR         default dir for --events (default"
+        " bench/out)\n"
+        "      --timeline N      issue-record ring capacity (default"
+        " 4096)\n"
+        "      --no-cells        skip bank cell events in the JSONL\n"
+        "      --full            builtin specs only: drop prefixes\n"
         "  run <spec>          expand and simulate a sweep spec (a\n"
         "                      .json path, or a builtin name)\n"
         "      --threads N       sweep workers (0 = hardware)\n"
@@ -147,6 +167,150 @@ loadSpecArg(const std::string &arg, bool full)
         return SweepSpec::load(arg);
     }
     return specs::byName(arg, full);
+}
+
+/** JsonlWriter with an optional cell-event mute (`--no-cells`). */
+class TraceJsonl : public collectors::JsonlWriter
+{
+  public:
+    TraceJsonl(std::ostream &out, bool cells)
+        : collectors::JsonlWriter(out), cells_(cells)
+    {
+    }
+
+    void
+    onBankCell(const BankCellEvent &event) override
+    {
+        if (cells_)
+            collectors::JsonlWriter::onBankCell(event);
+    }
+
+  private:
+    bool cells_;
+};
+
+int
+cmdTrace(int argc, char **argv)
+{
+    std::string specArg;
+    std::string eventsPath;
+    std::string outDir = "bench/out";
+    bool full = false;
+    bool cells = true;
+    std::int32_t jobIndex = 0;
+    std::int32_t timelineCap = 4096;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--job")
+            jobIndex = parseCount(needValue(argc, argv, i), "--job", 0,
+                                  (1 << 30));
+        else if (arg == "--events")
+            eventsPath = needValue(argc, argv, i);
+        else if (arg == "--out")
+            outDir = needValue(argc, argv, i);
+        else if (arg == "--timeline")
+            timelineCap = parseCount(needValue(argc, argv, i),
+                                     "--timeline", 1, 1 << 24);
+        else if (arg == "--no-cells")
+            cells = false;
+        else if (arg == "--full")
+            full = true;
+        else if (!arg.empty() && arg[0] == '-')
+            badArg("unknown trace option " + arg);
+        else if (specArg.empty())
+            specArg = arg;
+        else
+            badArg("trace takes exactly one spec");
+    }
+    if (specArg.empty())
+        badArg("trace needs a spec file");
+
+    const SweepSpec spec = loadSpecArg(specArg, full);
+    BenchmarkRegistry registry = BenchmarkRegistry::paper();
+    const std::vector<ExpandedJob> jobs = expandSpec(spec, registry);
+    LSQCA_REQUIRE(static_cast<std::size_t>(jobIndex) < jobs.size(),
+                  "--job " + std::to_string(jobIndex) +
+                      " is out of range: spec \"" + spec.name +
+                      "\" expands to " + std::to_string(jobs.size()) +
+                      " jobs (see `lsqca expand`)");
+    const ExpandedJob &job = jobs[static_cast<std::size_t>(jobIndex)];
+    const Program &program =
+        registry.program(job.bench, job.params, job.translate);
+
+    // One job, every built-in collector attached. The JSONL stream
+    // goes straight to a sibling temp file (a long trace with cell
+    // events can dwarf memory) and rename() publishes it whole, so a
+    // rerun stays byte-comparable and a crash never leaves a torn
+    // file at the final path.
+    collectors::StallAttribution stalls;
+    collectors::BankHeatmap heatmap;
+    collectors::Timeline timeline(
+        static_cast<std::size_t>(timelineCap));
+    const bool toStdout = eventsPath == "-";
+    if (!toStdout && eventsPath.empty())
+        eventsPath = outDir + "/TRACE_" + spec.name + ".jsonl";
+    const std::string tmpPath = eventsPath + ".tmp";
+    std::ofstream file;
+    if (!toStdout) {
+        fsutil::makeDirs(
+            eventsPath.find('/') != std::string::npos
+                ? eventsPath.substr(0, eventsPath.rfind('/'))
+                : ".");
+        file.open(tmpPath, std::ios::binary | std::ios::trunc);
+        LSQCA_REQUIRE(file.good(),
+                      "cannot open " + tmpPath + " for writing");
+    }
+    TraceJsonl jsonl(toStdout ? static_cast<std::ostream &>(std::cout)
+                              : static_cast<std::ostream &>(file),
+                     cells);
+    SimOptions options = job.options;
+    options.observers = {&stalls, &heatmap, &timeline, &jsonl};
+    const SimResult result = simulate(program, options);
+    if (!toStdout) {
+        file.close();
+        LSQCA_REQUIRE(file.good(), "failed writing " + tmpPath);
+        LSQCA_REQUIRE(std::rename(tmpPath.c_str(),
+                                  eventsPath.c_str()) == 0,
+                      "cannot publish " + eventsPath);
+    }
+
+    if (toStdout) {
+        // Keep stdout a pure JSONL stream (pipeable); the tables are
+        // available by writing events to a file instead.
+        std::cerr << "trace: " << jsonl.lines() << " events ("
+                  << timeline.seen() << " instructions) -> stdout\n";
+        return 0;
+    }
+
+    TextTable summary({"metric", "value"});
+    summary.addRow({"job", job.name});
+    summary.addRow({"machine", job.options.arch.label()});
+    summary.addRow({"instructions",
+                    std::to_string(result.instructionsSimulated)});
+    summary.addRow({"exec [beats]", std::to_string(result.execBeats)});
+    summary.addRow({"CPI", TextTable::num(result.cpi, 3)});
+    summary.addRow({"memory motion [beats]",
+                    std::to_string(result.memoryBeats)});
+    summary.addRow({"magic stall [beats]",
+                    std::to_string(result.magicStallBeats)});
+    summary.addRow({"density", TextTable::num(result.density(), 3)});
+    std::cout << summary.render("lsqca trace: " + spec.name + " job #" +
+                                std::to_string(jobIndex));
+    std::cout << "\n"
+              << stalls.table().render(
+                     "stall attribution (beats by component)");
+    for (std::size_t b = 0; b < heatmap.banks().size(); ++b) {
+        if (heatmap.banks()[b].cells.empty())
+            continue;
+        std::cout << "\n"
+                  << heatmap.table(b).render(
+                         "bank " + std::to_string(b) +
+                         " heat (occupancy share, touches)");
+    }
+    std::cerr << "trace: " << jsonl.lines() << " events ("
+              << timeline.seen() << " instructions) -> " << eventsPath
+              << "\n";
+    return 0;
 }
 
 int
@@ -551,6 +715,8 @@ main(int argc, char **argv)
     if (command == "--help" || command == "-h" || command == "help")
         return usage(std::cout, 0);
     try {
+        if (command == "trace")
+            return cmdTrace(argc, argv);
         if (command == "run")
             return cmdRun(argc, argv);
         if (command == "expand")

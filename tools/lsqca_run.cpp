@@ -234,7 +234,9 @@ main(int argc, char **argv)
         if (opt.compareConventional &&
             cfg.sam != SamKind::Conventional) {
             const SimResult conv = simulateConventional(
-                program, opt.factories, opt.prefix);
+                program,
+                {.factories = opt.factories,
+                 .maxInstructions = opt.prefix});
             table.addRow(
                 {"overhead vs conventional",
                  TextTable::num(static_cast<double>(r.execBeats) /
