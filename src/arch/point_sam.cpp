@@ -45,11 +45,21 @@ PointSamBank::placeInitial(const std::vector<QubitId> &vars)
             if (cell == port_)
                 continue; // the scan cell's initial position stays empty
             grid_.place(vars[next], cell);
-            homes_.emplace(vars[next], cell);
+            homeSlot(vars[next]) = cell;
             ++next;
         }
     }
     LSQCA_ASSERT(next == vars.size(), "initial placement did not fit");
+}
+
+Coord &
+PointSamBank::homeSlot(QubitId q)
+{
+    LSQCA_ASSERT(q >= 0, "invalid qubit id");
+    const auto idx = static_cast<std::size_t>(q);
+    if (idx >= homes_.size())
+        homes_.resize(idx + 1, Coord{-1, -1});
+    return homes_[idx];
 }
 
 std::int64_t
@@ -100,9 +110,11 @@ PointSamBank::homeOrNearest(QubitId q) const
 {
     if (homeCache_.q == q && homeCache_.version == grid_.version())
         return homeCache_.dest;
-    const auto it = homes_.find(q);
-    LSQCA_ASSERT(it != homes_.end(), "qubit has no home cell in bank");
-    Coord dest = it->second;
+    LSQCA_ASSERT(q >= 0 &&
+                     static_cast<std::size_t>(q) < homes_.size() &&
+                     homes_[static_cast<std::size_t>(q)].row >= 0,
+                 "qubit has no home cell in bank");
+    Coord dest = homes_[static_cast<std::size_t>(q)];
     if (!grid_.isEmptyCell(dest)) {
         const auto near = grid_.nearestEmpty(dest);
         LSQCA_ASSERT(near.has_value(), "point-SAM bank is full");
@@ -135,8 +147,9 @@ PointSamBank::commitStore(QubitId q, bool locality)
     const Coord dest = storeDestination(q, locality);
     grid_.makeRoomAt(dest);
     grid_.place(q, dest);
-    if (homes_.find(q) == homes_.end())
-        homes_.emplace(q, dest);
+    Coord &home = homeSlot(q);
+    if (home.row < 0)
+        home = dest;
     scan_ = dest; // the escorting hole ends next to the stored cell
     return dest;
 }

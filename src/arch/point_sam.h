@@ -15,7 +15,6 @@
  */
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "arch/config.h"
@@ -100,12 +99,16 @@ class PointSamBank
     Coord storeDestination(QubitId q, bool locality) const;
     std::int64_t pickCost(const Coord &from, const Coord &to) const;
 
+    /** Home cell of @p q; {-1,-1} when never stored (flat by QubitId,
+     *  same layout argument as OccupancyGrid::positions_). */
+    Coord &homeSlot(QubitId q);
+
     std::int32_t capacity_;
     Latencies lat_;
     OccupancyGrid grid_;
     Coord scan_;
     Coord port_;
-    std::unordered_map<QubitId, Coord> homes_;
+    std::vector<Coord> homes_;
 
     /**
      * Memo for homeOrNearest: the cost model asks for the same

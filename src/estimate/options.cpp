@@ -1,0 +1,42 @@
+#include "estimate/options.h"
+
+#include "common/error.h"
+
+namespace lsqca::estimate {
+
+const char *
+estimatorModeName(EstimatorMode mode)
+{
+    switch (mode) {
+      case EstimatorMode::Exact: return "exact";
+      case EstimatorMode::Sampled: return "sampled";
+    }
+    throw InternalError("unhandled estimator mode");
+}
+
+EstimatorMode
+estimatorModeFromName(const std::string &name)
+{
+    if (name == "exact")
+        return EstimatorMode::Exact;
+    if (name == "sampled")
+        return EstimatorMode::Sampled;
+    throw ConfigError("unknown estimator mode \"" + name +
+                      "\" (exact|sampled)");
+}
+
+void
+EstimatorOptions::validate() const
+{
+    if (!sampled())
+        return;
+    LSQCA_REQUIRE(unitInstrs >= 1,
+                  "estimator.unit_instrs must be >= 1");
+    LSQCA_REQUIRE(warmupInstrs >= 0,
+                  "estimator.warmup_instrs must be >= 0");
+    LSQCA_REQUIRE(period >= 1, "estimator.period must be >= 1");
+    LSQCA_REQUIRE(targetCi >= 0.0,
+                  "estimator.target_ci must be >= 0");
+}
+
+} // namespace lsqca::estimate

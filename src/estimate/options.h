@@ -1,0 +1,100 @@
+#ifndef LSQCA_ESTIMATE_OPTIONS_H
+#define LSQCA_ESTIMATE_OPTIONS_H
+
+/**
+ * @file
+ * Configuration for the sampled-simulation estimator (docs/SAMPLING.md).
+ *
+ * The estimator block rides inside SimOptions and the sweep spec
+ * schema: exact mode is the default and serializes to nothing, so
+ * every pre-estimator document and artifact is unchanged byte for
+ * byte. `lsqca-spec-v2` documents may carry an `"estimator"` object
+ * (api/spec.cpp); api/serialize.cpp round-trips it strictly.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace lsqca::estimate {
+
+enum class EstimatorMode : std::uint8_t
+{
+    /** Simulate every instruction in full detail (the default). */
+    Exact,
+    /** SMARTS-style systematic sampling with functional warming. */
+    Sampled,
+};
+
+/** "exact" / "sampled". */
+const char *estimatorModeName(EstimatorMode mode);
+
+/** Inverse of estimatorModeName. @throws ConfigError. */
+EstimatorMode estimatorModeFromName(const std::string &name);
+
+/**
+ * Systematic-sampling parameters. The instruction stream is cut into
+ * units of `unitInstrs`; every `period`-th unit (the first of each
+ * period) is simulated in full detail and measured. Instructions
+ * between detailed regions advance machine state functionally (bank
+ * grids, gap/scan positions, PM counts — no per-beat timing), and up
+ * to `warmupInstrs` instructions of detailed-but-unmeasured execution
+ * warm the timing state back up before each measured unit.
+ */
+struct EstimatorOptions
+{
+    EstimatorMode mode = EstimatorMode::Exact;
+
+    /** Instructions per sampling unit. */
+    std::int64_t unitInstrs = 1000;
+
+    /** Detailed warm-up instructions before each measured unit. */
+    std::int64_t warmupInstrs = 1000;
+
+    /** Measure every period-th unit (1 = measure everything). */
+    std::int64_t period = 10;
+
+    /**
+     * Streams too short for `period` to yield a usable sample degrade
+     * gracefully: the effective period shrinks so at least
+     * kMinMeasuredUnits units are measured, and a stream of fewer
+     * units than that is measured wholesale — which makes the result
+     * exact (`estimated` false), the right answer for programs cheap
+     * enough to not need sampling. See effectivePeriod().
+     */
+    static constexpr std::int64_t kMinMeasuredUnits = 8;
+
+    /**
+     * The period actually used for a stream of @p num_units units:
+     * `period` clamped to measure at least kMinMeasuredUnits units
+     * (never larger than `period`, so period=1 stays exact coverage).
+     */
+    std::int64_t
+    effectivePeriod(std::int64_t num_units) const
+    {
+        const std::int64_t cap = num_units / kMinMeasuredUnits;
+        return cap < 1 ? 1 : (period < cap ? period : cap);
+    }
+
+    /**
+     * Relative 95% CI the estimate should meet (ci95 / cpi); 0 means
+     * no target. The orchestration service escalates a sampled shard
+     * whose reported `sampling_error` exceeds this to an exact rerun
+     * (docs/SAMPLING.md, "Escalation").
+     */
+    double targetCi = 0.0;
+
+    bool
+    sampled() const
+    {
+        return mode == EstimatorMode::Sampled;
+    }
+
+    /** Parameter sanity for sampled mode. @throws ConfigError. */
+    void validate() const;
+
+    bool operator==(const EstimatorOptions &) const = default;
+};
+
+} // namespace lsqca::estimate
+
+#endif // LSQCA_ESTIMATE_OPTIONS_H

@@ -1,0 +1,29 @@
+#ifndef LSQCA_ESTIMATE_SAMPLED_H
+#define LSQCA_ESTIMATE_SAMPLED_H
+
+/**
+ * @file
+ * SMARTS-style sampled simulation (docs/SAMPLING.md).
+ *
+ * Called by simulate() when SimOptions::estimator selects sampled
+ * mode; not part of the public surface (use simulate()).
+ */
+
+#include "sim/simulator.h"
+
+namespace lsqca::estimate {
+
+/**
+ * Run the systematic-sampling estimator over @p program: detailed
+ * simulation of every period-th unit (with functional fast-forward
+ * and detailed warm-up between them) and a cpi estimate with 95% CI
+ * from the per-unit variance. Deterministic — no randomness anywhere.
+ *
+ * @pre options.estimator.sampled(), no observers / trace / breakdown.
+ */
+SimResult simulateSampled(const Program &program,
+                          const SimOptions &options);
+
+} // namespace lsqca::estimate
+
+#endif // LSQCA_ESTIMATE_SAMPLED_H

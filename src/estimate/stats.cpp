@@ -1,0 +1,51 @@
+#include "estimate/stats.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace lsqca::estimate {
+
+double
+tCritical95(std::int64_t df)
+{
+    // Two-sided 95% (t_{0.975, df}) for df = 1..30; the normal
+    // quantile beyond that. Values from the standard t table.
+    static constexpr double kTable[30] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    if (df < 1)
+        return 0.0;
+    if (df <= 30)
+        return kTable[df - 1];
+    return 1.96;
+}
+
+SampleStats
+sampleStats(const std::vector<double> &xs)
+{
+    SampleStats stats;
+    stats.n = static_cast<std::int64_t>(xs.size());
+    if (stats.n == 0)
+        return stats;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    stats.mean = sum / static_cast<double>(stats.n);
+    if (stats.n < 2)
+        return stats;
+    double ss = 0.0;
+    for (double x : xs) {
+        const double d = x - stats.mean;
+        ss += d * d;
+    }
+    stats.variance = ss / static_cast<double>(stats.n - 1);
+    stats.stddev = std::sqrt(stats.variance);
+    stats.ci95 = tCritical95(stats.n - 1) * stats.stddev /
+                 std::sqrt(static_cast<double>(stats.n));
+    return stats;
+}
+
+} // namespace lsqca::estimate

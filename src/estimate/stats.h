@@ -1,0 +1,42 @@
+#ifndef LSQCA_ESTIMATE_STATS_H
+#define LSQCA_ESTIMATE_STATS_H
+
+/**
+ * @file
+ * Sample statistics for the sampled estimator: mean, unbiased sample
+ * variance, and a two-sided 95% confidence half-width using Student's
+ * t critical values for small samples (z = 1.96 beyond 30 degrees of
+ * freedom). Pure functions, unit-tested against hand-computed
+ * fixtures in tests/estimate/stats_test.cpp.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace lsqca::estimate {
+
+/** Summary of one sample set. */
+struct SampleStats
+{
+    /** Sample count. */
+    std::int64_t n = 0;
+    double mean = 0.0;
+    /** Unbiased sample variance (n-1 denominator; 0 when n < 2). */
+    double variance = 0.0;
+    double stddev = 0.0;
+    /** Two-sided 95% CI half-width, t * s / sqrt(n) (0 when n < 2). */
+    double ci95 = 0.0;
+};
+
+/**
+ * Two-sided 95% Student-t critical value for @p df degrees of
+ * freedom (t_{0.975, df}); 1.96 for df > 30, 0 for df < 1.
+ */
+double tCritical95(std::int64_t df);
+
+/** Compute SampleStats over @p xs (all zeros when xs is empty). */
+SampleStats sampleStats(const std::vector<double> &xs);
+
+} // namespace lsqca::estimate
+
+#endif // LSQCA_ESTIMATE_STATS_H

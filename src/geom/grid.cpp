@@ -34,15 +34,26 @@ OccupancyGrid::at(const Coord &c) const
     return cells_[index(c)];
 }
 
+Coord &
+OccupancyGrid::positionSlot(QubitId q)
+{
+    LSQCA_REQUIRE(q >= 0, "invalid qubit id");
+    const auto idx = static_cast<std::size_t>(q);
+    if (idx >= positions_.size())
+        positions_.resize(idx + 1, Coord{-1, -1});
+    return positions_[idx];
+}
+
 void
 OccupancyGrid::place(QubitId q, const Coord &c)
 {
     LSQCA_REQUIRE(q != kNoQubit, "cannot place the sentinel qubit");
-    LSQCA_REQUIRE(!positions_.count(q), "qubit already placed");
+    Coord &slot = positionSlot(q);
+    LSQCA_REQUIRE(slot.row < 0, "qubit already placed");
     auto &cell = cells_[index(c)];
     LSQCA_REQUIRE(cell == kNoQubit, "cell already occupied");
     cell = q;
-    positions_.emplace(q, c);
+    slot = c;
     empties_.onOccupy(c);
     ++occupied_;
     ++version_;
@@ -53,11 +64,11 @@ OccupancyGrid::place(QubitId q, const Coord &c)
 Coord
 OccupancyGrid::remove(QubitId q)
 {
-    const auto it = positions_.find(q);
-    LSQCA_REQUIRE(it != positions_.end(), "qubit not placed");
-    const Coord c = it->second;
+    Coord &slot = positionSlot(q);
+    LSQCA_REQUIRE(slot.row >= 0, "qubit not placed");
+    const Coord c = slot;
     cells_[index(c)] = kNoQubit;
-    positions_.erase(it);
+    slot = Coord{-1, -1};
     empties_.onVacate(c);
     --occupied_;
     ++version_;
@@ -71,14 +82,14 @@ OccupancyGrid::relocateImpl(QubitId q, const Coord &to)
 {
     auto &dest = cells_[index(to)];
     LSQCA_REQUIRE(dest == kNoQubit, "relocate destination occupied");
-    const auto it = positions_.find(q);
-    LSQCA_REQUIRE(it != positions_.end(), "qubit not placed");
-    const Coord from = it->second;
+    Coord &slot = positionSlot(q);
+    LSQCA_REQUIRE(slot.row >= 0, "qubit not placed");
+    const Coord from = slot;
     cells_[index(from)] = kNoQubit;
     dest = q;
     empties_.onVacate(from);
     empties_.onOccupy(to);
-    it->second = to;
+    slot = to;
     ++version_;
     return from;
 }
@@ -96,10 +107,10 @@ OccupancyGrid::relocate(QubitId q, const Coord &to)
 std::optional<Coord>
 OccupancyGrid::find(QubitId q) const
 {
-    const auto it = positions_.find(q);
-    if (it == positions_.end())
+    const auto idx = static_cast<std::size_t>(q);
+    if (q < 0 || idx >= positions_.size() || positions_[idx].row < 0)
         return std::nullopt;
-    return it->second;
+    return positions_[idx];
 }
 
 Coord

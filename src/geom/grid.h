@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/error.h"
@@ -152,12 +151,21 @@ class OccupancyGrid
     /** relocate() sans notification; returns the vacated cell. */
     Coord relocateImpl(QubitId q, const Coord &to);
 
+    /** positions_ slot for @p q, grown on demand; {-1,-1} = unplaced. */
+    Coord &positionSlot(QubitId q);
+
     std::int32_t rows_;
     std::int32_t cols_;
     std::int32_t occupied_ = 0;
     std::uint64_t version_ = 0;
     std::vector<QubitId> cells_;
-    std::unordered_map<QubitId, Coord> positions_;
+    /**
+     * Qubit -> cell, indexed by QubitId (program variable indices are
+     * dense, so a flat vector beats the hash map this replaced: the
+     * position lookup is the single hottest operation in both the
+     * detailed and fast-forward commit paths). row == -1 = unplaced.
+     */
+    std::vector<Coord> positions_;
     OccupancyIndex empties_;
     CellListener *listener_ = nullptr;
 };

@@ -1,5 +1,6 @@
 #include "isa/program.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/error.h"
@@ -60,6 +61,8 @@ Program::append(const Instruction &inst)
                       std::string(info.mnemonic) +
                           ": value operand not allocated");
     code_.push_back(inst);
+    refCounts_ = nullptr;
+    streamIndex_ = nullptr;
 }
 
 std::int64_t
@@ -85,6 +88,9 @@ Program::magicCount() const
 std::vector<std::int64_t>
 Program::referenceCounts() const
 {
+    if (auto cached = std::atomic_load_explicit(
+            &refCounts_, std::memory_order_acquire))
+        return *cached;
     std::vector<std::int64_t> counts(
         static_cast<std::size_t>(numVariables_), 0);
     for (const auto &inst : code_) {
@@ -94,7 +100,43 @@ Program::referenceCounts() const
         if (info.numMem >= 2)
             ++counts[static_cast<std::size_t>(inst.m1)];
     }
-    return counts;
+    auto memo = std::make_shared<const std::vector<std::int64_t>>(
+        std::move(counts));
+    std::atomic_store_explicit(&refCounts_, memo,
+                               std::memory_order_release);
+    return *memo;
+}
+
+std::shared_ptr<const StreamIndex>
+Program::streamIndex() const
+{
+    if (auto cached = std::atomic_load_explicit(
+            &streamIndex_, std::memory_order_acquire))
+        return cached;
+    auto index = std::make_shared<StreamIndex>();
+    const std::size_t n = code_.size();
+    index->countedPrefix.resize(n + 1, 0);
+    index->pmPrefix.resize(n + 1, 0);
+    index->maxSlotPrefix.resize(n + 1, -1);
+    index->maxValPrefix.resize(n + 1, -1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Instruction &inst = code_[i];
+        index->countedPrefix[i + 1] =
+            index->countedPrefix[i] +
+            (inst.op != Opcode::LD && inst.op != Opcode::ST);
+        index->pmPrefix[i + 1] =
+            index->pmPrefix[i] + (inst.op == Opcode::PM);
+        index->maxSlotPrefix[i + 1] = std::max(
+            {index->maxSlotPrefix[i], inst.c0, inst.c1});
+        index->maxValPrefix[i + 1] =
+            std::max(index->maxValPrefix[i], inst.v0);
+        if (inst.op == Opcode::PM || opcodeInfo(inst.op).numMem >= 1)
+            index->memOps.push_back(static_cast<std::int64_t>(i));
+    }
+    std::shared_ptr<const StreamIndex> memo = std::move(index);
+    std::atomic_store_explicit(&streamIndex_, memo,
+                               std::memory_order_release);
+    return memo;
 }
 
 std::string

@@ -12,6 +12,7 @@
  */
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,29 @@ struct VariableRegister
     std::string name;
     std::int32_t first = 0;
     std::int32_t size = 0;
+};
+
+/**
+ * Memoized per-instruction prefix data over a Program, shared by every
+ * consumer that would otherwise rescan the stream per job (the sampled
+ * estimator walks skipped spans through memOps instead of the whole
+ * code vector; see src/estimate/).
+ */
+struct StreamIndex
+{
+    /** countedPrefix[i] = counted (non-LD/ST) instructions in [0, i). */
+    std::vector<std::int64_t> countedPrefix;
+    /** pmPrefix[i] = PM instructions in [0, i). */
+    std::vector<std::int64_t> pmPrefix;
+    /**
+     * Ascending indices of instructions with a memory operand or PM —
+     * the only opcodes that can change functional machine state.
+     */
+    std::vector<std::int64_t> memOps;
+    /** maxSlotPrefix[i] = largest CR slot referenced in [0, i), or -1. */
+    std::vector<std::int32_t> maxSlotPrefix;
+    /** maxValPrefix[i] = largest value slot referenced in [0, i), or -1. */
+    std::vector<std::int32_t> maxValPrefix;
 };
 
 /** An LSQCA instruction sequence plus symbol-table metadata. */
@@ -69,8 +93,22 @@ class Program
     /** Number of PM instructions == magic states consumed. */
     std::int64_t magicCount() const;
 
-    /** Per-variable static reference counts over memory operands. */
+    /**
+     * Per-variable static reference counts over memory operands.
+     * Cached after the first call: every hybrid sweep job over a
+     * shared program asks for the same counts, and the O(program)
+     * scan dominated fig14's wall-clock when repeated per job.
+     * Thread-safe — concurrent first calls may each compute, but they
+     * store identical vectors.
+     */
     std::vector<std::int64_t> referenceCounts() const;
+
+    /**
+     * Prefix-sum / memory-op index over the stream, memoized with the
+     * same contract as referenceCounts(): computed on first call,
+     * invalidated by append(), safe under concurrent readers.
+     */
+    std::shared_ptr<const StreamIndex> streamIndex() const;
 
     /** Multi-line disassembly (capped at @p max_lines, 0 = all). */
     std::string disassemble(std::size_t max_lines = 0) const;
@@ -80,6 +118,10 @@ class Program
     std::int32_t numValues_ = 0;
     std::vector<Instruction> code_;
     std::vector<VariableRegister> regs_;
+    /** referenceCounts() memo; reset by append(). */
+    mutable std::shared_ptr<const std::vector<std::int64_t>> refCounts_;
+    /** streamIndex() memo; reset by append(). */
+    mutable std::shared_ptr<const StreamIndex> streamIndex_;
 };
 
 } // namespace lsqca

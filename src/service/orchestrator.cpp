@@ -13,6 +13,7 @@
 #include "common/fs.h"
 #include "common/subprocess.h"
 #include "common/table.h"
+#include "estimate/options.h"
 #include "service/cache.h"
 #include "sweep/sweep.h"
 
@@ -58,6 +59,23 @@ formatArgDouble(double value)
     char buffer[64];
     std::snprintf(buffer, sizeof(buffer), "%.17g", value);
     return buffer;
+}
+
+/**
+ * Fingerprints of the campaign's shards rerun with the exact
+ * estimator: what a `--force-exact` worker expands to, and therefore
+ * the content address of a derived escalation task (the same key an
+ * exact campaign over the same spec would use, so escalations share
+ * its cache entries).
+ */
+std::vector<std::string>
+exactShardFingerprints(const api::SweepSpec &spec,
+                       std::vector<api::ExpandedJob> jobs,
+                       std::int32_t shardCount, bool noTiming)
+{
+    for (api::ExpandedJob &job : jobs)
+        job.options.estimator = estimate::EstimatorOptions{};
+    return api::shardFingerprints(spec, jobs, shardCount, noTiming);
 }
 
 } // namespace
@@ -145,6 +163,8 @@ Orchestrator::submit(const std::string &specPath)
         ShardTask task;
         task.index = i;
         task.fingerprint = fingerprints[static_cast<std::size_t>(i)];
+        if (spec.estimator.sampled())
+            task.mode = estimate::estimatorModeName(spec.estimator.mode);
         state.tasks.push_back(std::move(task));
     }
     fsutil::makeDirs(options_.stateDir);
@@ -179,15 +199,26 @@ Orchestrator::resume()
         api::expandSpec(spec, registry);
     const std::vector<std::string> fingerprints = api::shardFingerprints(
         spec, jobs, state.shardCount, state.noTiming);
-    for (std::size_t i = 0; i < state.tasks.size(); ++i)
+    // Derived escalation tasks were queued with the *exact* slice's
+    // fingerprint (their workers run --force-exact).
+    std::vector<std::string> exactFingerprints;
+    if (state.escalationCount() > 0)
+        exactFingerprints = exactShardFingerprints(
+            spec, jobs, state.shardCount, state.noTiming);
+    for (std::size_t i = 0; i < state.tasks.size(); ++i) {
+        const ShardTask &task = state.tasks[i];
+        const std::string &expanded =
+            task.escalated
+                ? exactFingerprints[static_cast<std::size_t>(task.index)]
+                : fingerprints[static_cast<std::size_t>(task.index)];
         LSQCA_REQUIRE(
-            fingerprints[i] == state.tasks[i].fingerprint,
-            "shard " + std::to_string(i) + " of campaign \"" +
+            expanded == task.fingerprint,
+            "shard " + std::to_string(task.index) + " of campaign \"" +
                 state.campaign + "\" now expands to fingerprint " +
-                fingerprints[i] + " but was queued as " +
-                state.tasks[i].fingerprint +
+                expanded + " but was queued as " + task.fingerprint +
                 " — the spec file changed under the campaign; submit "
                 "it as a new campaign instead");
+    }
 
     state.resetRunning();
     if (options_.maxAttempts > state.maxAttempts) {
@@ -209,6 +240,10 @@ Orchestrator::drive(QueueState state)
     report.queuePath = queuePath(options_.stateDir);
 
     const std::string shardsDir = options_.stateDir + "/shards";
+    // Escalated exact reruns land in a subdirectory: their worker
+    // writes the same BENCH_<campaign>.shard<i>of<N>.json name the
+    // sampled shard already used.
+    const std::string exactDir = shardsDir + "/exact";
     const std::string logsDir = options_.stateDir + "/logs";
     fsutil::makeDirs(shardsDir);
     const ResultCache cache(
@@ -217,23 +252,39 @@ Orchestrator::drive(QueueState state)
             : (options_.cacheDir.empty() ? options_.stateDir + "/cache"
                                          : options_.cacheDir));
 
+    const auto taskDir = [&](const ShardTask &task) -> const std::string & {
+        return task.escalated ? exactDir : shardsDir;
+    };
+    const auto taskOutput = [&](const ShardTask &task,
+                                const std::string &name) {
+        return (task.escalated ? "shards/exact/" : "shards/") + name;
+    };
+
     // Cache pass: shards whose content-address is already on disk are
-    // done without spawning anything.
-    for (ShardTask &task : state.tasks) {
-        if (task.status != TaskStatus::Pending)
-            continue;
-        const std::string name =
-            shardFileName(state.campaign, task.index, state.shardCount);
-        if (!cache.fetch(task.fingerprint, shardsDir + "/" + name))
-            continue;
-        task.status = TaskStatus::Done;
-        task.cached = true;
-        task.wallSeconds = 0.0;
-        task.output = "shards/" + name;
-        task.lastError = "";
-        ++report.cacheHits;
-    }
-    state.save(report.queuePath);
+    // done without spawning anything. Runs again after escalation so
+    // a derived exact rerun can be served from an earlier exact
+    // campaign's cache entries.
+    const auto cachePass = [&] {
+        for (ShardTask &task : state.tasks) {
+            if (task.status != TaskStatus::Pending)
+                continue;
+            const std::string name = shardFileName(
+                state.campaign, task.index, state.shardCount);
+            if (task.escalated)
+                fsutil::makeDirs(exactDir);
+            if (!cache.fetch(task.fingerprint,
+                             taskDir(task) + "/" + name))
+                continue;
+            task.status = TaskStatus::Done;
+            task.cached = true;
+            task.wallSeconds = 0.0;
+            task.output = taskOutput(task, name);
+            task.lastError = "";
+            ++report.cacheHits;
+        }
+        state.save(report.queuePath);
+    };
+    cachePass();
 
     std::vector<RunningWorker> running;
     std::vector<double> doneWalls;
@@ -255,6 +306,56 @@ Orchestrator::drive(QueueState state)
         proc::wait(worker.pid);
     };
 
+    // CI escalation (docs/SAMPLING.md): with the queue drained, each
+    // sampled base shard's BENCH output is inspected; any entry whose
+    // sampling_error breaches the spec's target_ci queues a derived
+    // exact rerun of the slice. Returns true when new tasks were
+    // appended, restarting the drain.
+    const auto escalate = [&]() -> bool {
+        if (!state.allDone())
+            return false;
+        const api::SweepSpec spec =
+            api::SweepSpec::load(state.specPath);
+        if (!spec.estimator.sampled() ||
+            spec.estimator.targetCi <= 0.0)
+            return false;
+        std::vector<std::int32_t> breached;
+        for (std::int32_t i = 0; i < state.shardCount; ++i) {
+            const ShardTask &task =
+                state.tasks[static_cast<std::size_t>(i)];
+            if (state.escalationFor(i) != nullptr)
+                continue;
+            const Json doc =
+                Json::load(options_.stateDir + "/" + task.output);
+            for (const Json &entry : doc.at("entries").items()) {
+                const Json *error =
+                    entry.at("metrics").find("sampling_error");
+                if (error != nullptr &&
+                    error->asDouble() > spec.estimator.targetCi) {
+                    breached.push_back(i);
+                    break;
+                }
+            }
+        }
+        if (breached.empty())
+            return false;
+        const api::BenchmarkRegistry registry =
+            api::BenchmarkRegistry::paper();
+        const std::vector<std::string> exact = exactShardFingerprints(
+            spec, api::expandSpec(spec, registry), state.shardCount,
+            state.noTiming);
+        for (const std::int32_t i : breached) {
+            ShardTask task;
+            task.index = i;
+            task.fingerprint = exact[static_cast<std::size_t>(i)];
+            task.escalated = true;
+            state.tasks.push_back(std::move(task));
+            ++report.escalations;
+        }
+        state.save(report.queuePath);
+        return true;
+    };
+
     for (;;) {
         // Dispatch pending shards into free worker slots, recording
         // the attempt in queue.json *before* the spawn so a dead
@@ -270,6 +371,8 @@ Orchestrator::drive(QueueState state)
             task.status = TaskStatus::Running;
             state.save(report.queuePath);
 
+            if (task.escalated)
+                fsutil::makeDirs(exactDir);
             proc::Command command;
             command.argv = {options_.workerExe,
                             "run",
@@ -280,7 +383,9 @@ Orchestrator::drive(QueueState state)
                             "--threads",
                             std::to_string(options_.threadsPerWorker),
                             "--out",
-                            shardsDir};
+                            taskDir(task)};
+            if (task.escalated)
+                command.argv.push_back("--force-exact");
             if (state.noTiming)
                 command.argv.push_back("--no-timing");
             if (options_.timeoutSeconds > 0.0) {
@@ -324,8 +429,14 @@ Orchestrator::drive(QueueState state)
             }
         }
 
-        if (running.empty())
-            break;
+        if (running.empty()) {
+            if (!escalate())
+                break;
+            // New derived tasks: give the cache a chance first, then
+            // fall through to dispatch whatever it missed.
+            cachePass();
+            continue;
+        }
 
         // Reap finished workers; kill stragglers.
         const double deadline =
@@ -374,12 +485,12 @@ Orchestrator::drive(QueueState state)
 
             const std::string name = shardFileName(
                 state.campaign, task.index, state.shardCount);
-            const std::string outPath = shardsDir + "/" + name;
+            const std::string outPath = taskDir(task) + "/" + name;
             if (status.ok() && fsutil::exists(outPath)) {
                 task.status = TaskStatus::Done;
                 task.cached = false;
                 task.wallSeconds = elapsed;
-                task.output = "shards/" + name;
+                task.output = taskOutput(task, name);
                 task.lastError = "";
                 doneWalls.push_back(elapsed);
                 cache.store(task.fingerprint, outPath);
@@ -414,9 +525,15 @@ Orchestrator::drive(QueueState state)
     // unsharded run (pinned by tests/service and the CI gate).
     std::vector<Json> docs;
     std::vector<std::string> labels;
-    docs.reserve(state.tasks.size());
-    for (const ShardTask &task : state.tasks) {
-        const std::string path = options_.stateDir + "/" + task.output;
+    docs.reserve(static_cast<std::size_t>(state.shardCount));
+    for (std::int32_t i = 0; i < state.shardCount; ++i) {
+        // An escalated shard merges its exact rerun; the sampled
+        // document stays on disk beside it for inspection.
+        const ShardTask *chosen = state.escalationFor(i);
+        if (chosen == nullptr)
+            chosen = &state.tasks[static_cast<std::size_t>(i)];
+        const std::string path =
+            options_.stateDir + "/" + chosen->output;
         docs.push_back(Json::load(path));
         labels.push_back(path);
     }

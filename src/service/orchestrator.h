@@ -24,10 +24,19 @@
  * converges instead of being killed into a failed campaign (a truly
  * wedged worker is still bounded by the hard `timeoutSeconds`).
  *
+ * CI escalation (docs/SAMPLING.md): when the campaign's spec carries
+ * a sampled estimator with `target_ci > 0`, every base shard's BENCH
+ * output is inspected after the queue drains; a shard with any entry
+ * whose `sampling_error` exceeds the target is re-queued as a derived
+ * task that reruns the same slice exactly (`lsqca run --force-exact`,
+ * output under shards/exact/). The merge then prefers the escalated
+ * document, so the final artifact meets the CI contract everywhere.
+ *
  * State-dir layout:
  *
  *     <state>/queue.json       lsqca-queue-v1 (source of truth)
  *     <state>/shards/BENCH_*   per-shard worker output
+ *     <state>/shards/exact/BENCH_*  escalated exact reruns
  *     <state>/logs/shard<i>.attempt<a>.log
  *     <state>/cache/<fp>.json  result cache (override via cacheDir)
  *     <state>/BENCH_<campaign>.json   merged artifact (see outDir)
@@ -99,6 +108,8 @@ struct CampaignReport
     /** Crash/timeout/straggler attempts that were re-queued. */
     std::int32_t retries = 0;
     std::int32_t stragglersKilled = 0;
+    /** Derived exact reruns queued by CI escalation this call. */
+    std::int32_t escalations = 0;
     /** Merged BENCH path ("" unless complete). */
     std::string mergedPath;
     std::string queuePath;

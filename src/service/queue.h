@@ -25,6 +25,15 @@
  * `attempts` counts spawns, so "attempt counts persist across
  * orchestrator restart" falls out of the write-before-spawn rule
  * rather than any recovery logic.
+ *
+ * Campaigns over a sampled spec (docs/SAMPLING.md) may append
+ * *derived* escalation tasks after the base shards: when a finished
+ * shard's BENCH entries breach the spec's `target_ci`, the
+ * orchestrator queues an exact rerun of the same slice (`escalated:
+ * true`, the exact slice's fingerprint, worker flag `--force-exact`).
+ * Derived tasks live past `shard_count` in the task array, reuse the
+ * base shard's index, and survive resume like any other task; the
+ * merge prefers their output over the sampled shard's.
  */
 
 #include <cstdint>
@@ -70,6 +79,18 @@ struct ShardTask
     std::string output;
     /** Last failure, e.g. "signal 9 (straggler)" ("" when none). */
     std::string lastError;
+    /**
+     * Estimator mode the task's worker runs under ("" = exact, kept
+     * implicit so pre-estimator queue documents round-trip
+     * byte-identically). Base tasks of a sampled campaign carry
+     * "sampled"; escalated reruns leave it "" (they force exact).
+     */
+    std::string mode;
+    /**
+     * A derived CI-escalation task: an exact rerun of base shard
+     * `index`, appended past shard_count (docs/SAMPLING.md).
+     */
+    bool escalated = false;
 };
 
 /** The whole campaign: identity, policy that affects bytes, tasks. */
@@ -84,6 +105,11 @@ struct QueueState
     bool noTiming = false;
     /** Spawn budget per shard before it is marked failed. */
     std::int32_t maxAttempts = 3;
+    /**
+     * One task per shard in index order, then any derived escalation
+     * tasks (escalated == true) appended in the order they were
+     * queued.
+     */
     std::vector<ShardTask> tasks;
 
     /** Strict lsqca-queue-v1 parse. @throws ConfigError. */
@@ -98,6 +124,18 @@ struct QueueState
     void save(const std::string &path) const;
 
     std::size_t countWithStatus(TaskStatus status) const;
+
+    /** Derived escalation tasks appended so far. */
+    std::size_t escalationCount() const
+    {
+        return tasks.size() - static_cast<std::size_t>(shardCount);
+    }
+
+    /**
+     * The derived escalation task rerunning base shard @p index
+     * (nullptr when that shard was never escalated).
+     */
+    const ShardTask *escalationFor(std::int32_t index) const;
 
     bool allDone() const
     {

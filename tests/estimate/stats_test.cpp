@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Hand-computed fixtures for the sampled estimator's statistics core
+ * (src/estimate/stats.h): Student-t critical values, sample mean /
+ * unbiased variance / 95% CI half-width, and the degenerate cases
+ * (empty, single sample, zero variance) the estimator leans on.
+ */
+
+#include "estimate/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lsqca::estimate {
+namespace {
+
+TEST(Stats, TCriticalMatchesTheTable)
+{
+    // Spot-check the standard two-sided 95% table at its edges.
+    EXPECT_DOUBLE_EQ(tCritical95(1), 12.706);
+    EXPECT_DOUBLE_EQ(tCritical95(2), 4.303);
+    EXPECT_DOUBLE_EQ(tCritical95(10), 2.228);
+    EXPECT_DOUBLE_EQ(tCritical95(30), 2.042);
+    // Beyond the table: the normal quantile.
+    EXPECT_DOUBLE_EQ(tCritical95(31), 1.96);
+    EXPECT_DOUBLE_EQ(tCritical95(1000000), 1.96);
+    // No degrees of freedom, no interval.
+    EXPECT_DOUBLE_EQ(tCritical95(0), 0.0);
+    EXPECT_DOUBLE_EQ(tCritical95(-5), 0.0);
+}
+
+TEST(Stats, TCriticalIsMonotoneDecreasing)
+{
+    for (std::int64_t df = 1; df < 40; ++df)
+        EXPECT_GE(tCritical95(df), tCritical95(df + 1)) << "df " << df;
+}
+
+TEST(Stats, EmptySampleIsAllZeros)
+{
+    const SampleStats s = sampleStats({});
+    EXPECT_EQ(s.n, 0);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+    EXPECT_DOUBLE_EQ(s.variance, 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(s.ci95, 0.0);
+}
+
+TEST(Stats, SingleSampleHasMeanButNoSpread)
+{
+    const SampleStats s = sampleStats({42.5});
+    EXPECT_EQ(s.n, 1);
+    EXPECT_DOUBLE_EQ(s.mean, 42.5);
+    EXPECT_DOUBLE_EQ(s.variance, 0.0);
+    EXPECT_DOUBLE_EQ(s.ci95, 0.0);
+}
+
+TEST(Stats, IdenticalSamplesCollapseTheInterval)
+{
+    const SampleStats s = sampleStats({3.0, 3.0, 3.0, 3.0});
+    EXPECT_EQ(s.n, 4);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.variance, 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(s.ci95, 0.0);
+}
+
+TEST(Stats, HandComputedThreeSampleFixture)
+{
+    // {1, 2, 3}: mean 2, sum of squared deviations 2, unbiased
+    // variance 2/2 = 1, stddev 1, ci95 = t(2) * 1 / sqrt(3).
+    const SampleStats s = sampleStats({1.0, 2.0, 3.0});
+    EXPECT_EQ(s.n, 3);
+    EXPECT_DOUBLE_EQ(s.mean, 2.0);
+    EXPECT_DOUBLE_EQ(s.variance, 1.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 1.0);
+    EXPECT_DOUBLE_EQ(s.ci95, 4.303 / std::sqrt(3.0));
+}
+
+TEST(Stats, HandComputedEightSampleFixture)
+{
+    // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, squared deviations sum to
+    // 9+1+1+1+0+0+4+16 = 32, variance 32/7, ci95 = t(7) * s / sqrt(8).
+    const SampleStats s =
+        sampleStats({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    EXPECT_EQ(s.n, 8);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_DOUBLE_EQ(s.variance, 32.0 / 7.0);
+    EXPECT_DOUBLE_EQ(s.stddev, std::sqrt(32.0 / 7.0));
+    EXPECT_DOUBLE_EQ(s.ci95,
+                     2.365 * std::sqrt(32.0 / 7.0) / std::sqrt(8.0));
+}
+
+TEST(Stats, LargeSampleUsesTheNormalQuantile)
+{
+    // 40 alternating values 0/2: mean 1, variance 40/39, df 39 > 30.
+    std::vector<double> xs(40);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        xs[i] = (i % 2 == 0) ? 0.0 : 2.0;
+    const SampleStats s = sampleStats(xs);
+    EXPECT_DOUBLE_EQ(s.mean, 1.0);
+    EXPECT_DOUBLE_EQ(s.variance, 40.0 / 39.0);
+    EXPECT_DOUBLE_EQ(s.ci95,
+                     1.96 * std::sqrt(40.0 / 39.0) / std::sqrt(40.0));
+}
+
+TEST(Stats, MeanIsTranslationInvariantSpreadIsNot)
+{
+    const SampleStats a = sampleStats({1.0, 2.0, 3.0});
+    const SampleStats b = sampleStats({101.0, 102.0, 103.0});
+    EXPECT_DOUBLE_EQ(b.mean, a.mean + 100.0);
+    EXPECT_DOUBLE_EQ(b.variance, a.variance);
+    EXPECT_DOUBLE_EQ(b.ci95, a.ci95);
+}
+
+} // namespace
+} // namespace lsqca::estimate

@@ -87,6 +87,8 @@ usage(std::ostream &out, int code)
         "      --timeout-seconds S  abort (exit 124) past this wall"
         " budget\n"
         "      --seed-check HEX  require this shard fingerprint\n"
+        "      --force-exact     ignore the spec's estimator block and\n"
+        "                        run every job exactly (docs/SAMPLING.md)\n"
         "      --full            builtin specs only: drop prefixes\n"
         "  expand <spec>       validate a spec and print its job list\n"
         "      --shard i/N       print only that slice\n"
@@ -95,8 +97,8 @@ usage(std::ostream &out, int code)
         "  merge <json|dir...> merge shard BENCH documents (a directory"
         " adds its BENCH_*.json files)\n"
         "      --out FILE        write merged doc (default stdout)\n"
-        "  spec <name>         print a builtin spec (fig13|fig14|fig15|"
-        "ablation|smoke)\n"
+        "  spec <name>         print a builtin spec (fig13|fig14|"
+        "fig14_sampled|fig15|ablation|smoke)\n"
         "      --full            drop steady-state prefixes\n"
         "  submit <spec.json>  run a spec as a multi-worker campaign\n"
         "      --workers K       concurrent worker processes (default"
@@ -336,6 +338,8 @@ cmdRun(int argc, char **argv)
         else if (arg == "--seed-check")
             options.seedCheck =
                 parseFingerprintArg(needValue(argc, argv, i));
+        else if (arg == "--force-exact")
+            options.forceExact = true;
         else if (arg == "--die-after")
             // Test-only crash hook (see docs/SERVICE.md): simulate N
             // jobs, then exit kDieAfterExitCode without output.
@@ -421,8 +425,8 @@ cmdList()
     std::cout << benches.render("registered benchmarks") << "\n";
 
     TextTable builtin({"spec", "jobs", "axes"});
-    for (const char *name :
-         {"fig13", "fig14", "fig15", "ablation", "smoke"}) {
+    for (const char *name : {"fig13", "fig14", "fig14_sampled", "fig15",
+                             "ablation", "smoke"}) {
         const SweepSpec spec = specs::byName(name);
         std::string shape;
         for (const SweepAxis &axis : spec.axes) {
@@ -568,10 +572,11 @@ reportCampaign(const service::CampaignReport &report,
     const service::QueueState &queue = report.queue;
     std::cerr << "campaign " << queue.campaign << ": "
               << queue.countWithStatus(service::TaskStatus::Done) << "/"
-              << queue.shardCount << " shards done ("
+              << queue.tasks.size() << " shards done ("
               << report.cacheHits << " cached, " << report.spawned
               << " spawned, " << report.retries << " retries, "
-              << report.stragglersKilled << " stragglers killed)";
+              << report.stragglersKilled << " stragglers killed, "
+              << report.escalations << " escalated)";
     if (report.complete) {
         std::cerr << " -> " << report.mergedPath << "\n";
         return 0;
@@ -677,15 +682,21 @@ cmdStatus(int argc, char **argv)
 
     const service::QueueState queue =
         service::Orchestrator::inspect(stateDir);
-    TextTable table(
-        {"shard", "status", "attempts", "cached", "wall_s", "detail"});
+    TextTable table({"shard", "mode", "status", "attempts", "cached",
+                     "wall_s", "detail"});
     for (const service::ShardTask &task : queue.tasks) {
         const std::string detail = task.lastError.empty()
                                        ? task.output
                                        : task.lastError;
+        // Derived CI-escalation tasks rerun their shard exactly
+        // (docs/SAMPLING.md); base tasks with no recorded mode
+        // predate the estimator and are exact by definition.
+        const std::string mode =
+            task.escalated ? "exact (escalated)"
+                           : (task.mode.empty() ? "exact" : task.mode);
         table.addRow({std::to_string(task.index) + "/" +
                           std::to_string(queue.shardCount),
-                      service::taskStatusName(task.status),
+                      mode, service::taskStatusName(task.status),
                       std::to_string(task.attempts),
                       task.cached ? "yes" : "no",
                       TextTable::num(task.wallSeconds, 3), detail});
@@ -700,7 +711,8 @@ cmdStatus(int argc, char **argv)
               << queue.countWithStatus(service::TaskStatus::Done)
               << ", failed "
               << queue.countWithStatus(service::TaskStatus::Failed)
-              << " of " << queue.shardCount << " shards\n";
+              << " of " << queue.shardCount << " shards, "
+              << queue.escalationCount() << " escalated\n";
     return 0;
 }
 

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Check a sampled BENCH run against its exact twin (docs/SAMPLING.md).
+
+The sampling CI gate runs the fig14 sweep twice — once exact, once
+under the sampled estimator — and then asserts the statistical
+contract the estimator documents:
+
+  * entries the estimator covered wholesale (no cpi_ci95 key) must
+    match the exact run bit for bit: they took the same code path and
+    any drift is a correctness bug;
+  * for estimated entries, the exact cpi must lie inside the reported
+    95% interval for at least --coverage of them (default 0.95 — the
+    interval is a per-entry 95% CI, so demanding literally 100% would
+    reject a correct estimator);
+  * no estimated entry may miss by more than --max-ci-widths interval
+    half-widths (default 1.5): the simulator is deterministic, so this
+    bound is stable run to run and catches gross estimator bias that
+    per-entry coverage would average away.
+
+Exit status 0 = contract holds.
+
+Usage:
+  tools/sampling_check.py BENCH_fig14.json BENCH_fig14_sampled.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    entries = {}
+    for entry in doc.get("entries", []):
+        if "name" not in entry or "metrics" not in entry:
+            sys.exit(f"sampling_check: {path}: malformed entry "
+                     f"(not a lsqca-bench document?)")
+        entries[entry["name"]] = entry["metrics"]
+    return entries
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="check sampled-estimator CI containment")
+    parser.add_argument("exact", help="BENCH json from the exact run")
+    parser.add_argument("sampled", help="BENCH json from the sampled run")
+    parser.add_argument(
+        "--coverage", type=float, default=0.95,
+        help="minimum fraction of estimated entries whose 95%% CI "
+             "must contain the exact cpi (default 0.95)")
+    parser.add_argument(
+        "--max-ci-widths", type=float, default=1.5,
+        help="no entry may miss the exact cpi by more than this many "
+             "CI half-widths (default 1.5)")
+    args = parser.parse_args()
+
+    exact = load(args.exact)
+    sampled = load(args.sampled)
+
+    if set(exact) != set(sampled):
+        only_e = sorted(set(exact) - set(sampled))[:5]
+        only_s = sorted(set(sampled) - set(exact))[:5]
+        sys.exit("sampling_check: entry sets differ "
+                 f"(exact-only {only_e}, sampled-only {only_s})")
+
+    failures = []
+    estimated = inside = 0
+    worst = (0.0, None)
+    for name, s_metrics in sorted(sampled.items()):
+        e_cpi = exact[name]["cpi"]
+        s_cpi = s_metrics["cpi"]
+        ci = s_metrics.get("cpi_ci95")
+        if ci is None:
+            # Whole-stream coverage: must be the exact result.
+            if s_cpi != e_cpi:
+                failures.append(
+                    f"{name}: non-estimated entry differs from exact "
+                    f"(exact={e_cpi!r} sampled={s_cpi!r})")
+            continue
+        estimated += 1
+        distance = abs(e_cpi - s_cpi)
+        if distance <= ci:
+            inside += 1
+        widths = distance / ci if ci > 0 else float("inf")
+        if widths > worst[0]:
+            worst = (widths, name)
+        if widths > args.max_ci_widths:
+            failures.append(
+                f"{name}: exact cpi {e_cpi:.6g} misses the sampled "
+                f"interval {s_cpi:.6g} ± {ci:.6g} by {widths:.2f} "
+                f"half-widths (> {args.max_ci_widths})")
+
+    if estimated:
+        coverage = inside / estimated
+        print(f"sampling_check: {len(sampled)} entries, {estimated} "
+              f"estimated, CI coverage {coverage:.3f} "
+              f"(min {args.coverage}), worst miss "
+              f"{worst[0]:.2f} half-widths ({worst[1]})")
+        if coverage < args.coverage:
+            failures.append(
+                f"CI coverage {coverage:.3f} below required "
+                f"{args.coverage} ({inside}/{estimated} inside)")
+    else:
+        print(f"sampling_check: {len(sampled)} entries, none "
+              f"estimated (exact coverage everywhere)")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
