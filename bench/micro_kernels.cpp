@@ -22,8 +22,10 @@
 #include "bench_util.h"
 #include "circuit/lowering.h"
 #include "circuit/statevector.h"
+#include "common/fs.h"
 #include "common/json.h"
 #include "geom/grid.h"
+#include "service/journal.h"
 #include "sim/machine.h"
 #include "synth/benchmarks.h"
 #include "translate/translate.h"
@@ -255,6 +257,35 @@ main(int argc, char **argv)
                       }),
                "query", static_cast<std::int64_t>(side) * side,
                "ns_per_nearestEmpty");
+    }
+
+    {
+        // Journal append cost (docs/METRICS.md): one campaign event
+        // through Journal::record — Json build, compact dump, one
+        // write(2) on an O_APPEND fd. The orchestrator pays this a
+        // handful of times per process spawn; the number here pins
+        // that it stays noise next to fork+exec.
+        const std::int64_t appendsPerRep = args.smoke ? 2000 : 20000;
+        const std::string dir = args.outDir + "/journal_bench";
+        fsutil::makeDirs(dir);
+        const std::string path = dir + "/events.jsonl";
+        record("service/journal/append",
+               bestOf(bankReps,
+                      [&] {
+                          fsutil::removeFile(path);
+                          auto journal = service::Journal::open(
+                              path, service::JournalClock::Logical);
+                          Json fields = Json::object();
+                          fields.set("shard", std::int64_t{3});
+                          fields.set("attempt", std::int64_t{1});
+                          fields.set("worker", std::int64_t{2});
+                          for (std::int64_t i = 0; i < appendsPerRep;
+                               ++i)
+                              journal.record("spawn", fields);
+                          doNotOptimize(journal.seq());
+                      }),
+               "append", appendsPerRep, "ns_per_journal_append");
+        fsutil::removeFile(path);
     }
 
     // ---- statevector kernels -------------------------------------------

@@ -619,7 +619,7 @@ runSpec(const SweepSpec &spec, BenchmarkRegistry &registry,
         run.jobs.push_back(std::move(job));
     }
 
-    const SweepEngine engine({options.threads});
+    const SweepEngine engine({options.threads, options.metrics});
     if (options.dieAfter >= 0 &&
         static_cast<std::size_t>(options.dieAfter) < run.jobs.size()) {
         const std::vector<SweepJob> partial(

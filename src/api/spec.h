@@ -258,6 +258,13 @@ struct RunSpecOptions
      * --force-exact`, docs/SAMPLING.md).
      */
     bool forceExact = false;
+    /**
+     * Optional observability registry handed to the sweep engine
+     * (must outlive the call); `lsqca run --metrics FILE` uses it to
+     * snapshot sweep/pool instruments after the run. Null (the
+     * default) keeps the run instrumentation-free (docs/METRICS.md).
+     */
+    metrics::Registry *metrics = nullptr;
 };
 
 /** Outcome of runSpec: the slice run, its results, and the report. */

@@ -1,0 +1,85 @@
+#include "common/jsonl.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/error.h"
+#include "common/fs.h"
+
+namespace lsqca::jsonl {
+
+Export::Export(const std::string &path)
+    : path_(path), toStdout_(path == "-")
+{
+    if (toStdout_)
+        return;
+    LSQCA_REQUIRE(!path_.empty(), "export needs a target path");
+    const std::size_t slash = path_.rfind('/');
+    if (slash != std::string::npos)
+        fsutil::makeDirs(path_.substr(0, slash));
+    tmpPath_ = path_ + ".tmp";
+    file_.open(tmpPath_, std::ios::binary | std::ios::trunc);
+    LSQCA_REQUIRE(file_.good(),
+                  "cannot open " + tmpPath_ + " for writing");
+}
+
+Export::~Export()
+{
+    if (!toStdout_ && !published_) {
+        file_.close();
+        fsutil::removeFile(tmpPath_);
+    }
+}
+
+std::ostream &
+Export::stream()
+{
+    return toStdout_ ? static_cast<std::ostream &>(std::cout)
+                     : static_cast<std::ostream &>(file_);
+}
+
+void
+Export::publish()
+{
+    if (toStdout_ || published_)
+        return;
+    file_.close();
+    LSQCA_REQUIRE(file_.good(), "failed writing " + tmpPath_);
+    LSQCA_REQUIRE(std::rename(tmpPath_.c_str(), path_.c_str()) == 0,
+                  "cannot publish " + path_);
+    published_ = true;
+}
+
+ReadResult
+readLines(const std::string &path)
+{
+    const std::string text = fsutil::readFile(path);
+    ReadResult result;
+    std::size_t start = 0;
+    std::int64_t lineNo = 0;
+    while (start < text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+            // A writer died between write() and the trailing newline
+            // (or mid-buffer): the torn tail carries no complete
+            // record, so it is dropped rather than failing the whole
+            // reload.
+            result.truncatedTail = true;
+            break;
+        }
+        ++lineNo;
+        const std::string line = text.substr(start, nl - start);
+        start = nl + 1;
+        if (line.empty())
+            continue;
+        try {
+            result.lines.push_back(Json::parse(line));
+        } catch (const ConfigError &e) {
+            throw ConfigError(path + " line " + std::to_string(lineNo) +
+                              ": " + e.what());
+        }
+    }
+    return result;
+}
+
+} // namespace lsqca::jsonl

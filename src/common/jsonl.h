@@ -1,0 +1,109 @@
+#ifndef LSQCA_COMMON_JSONL_H
+#define LSQCA_COMMON_JSONL_H
+
+/**
+ * @file
+ * JSON-Lines plumbing shared by every JSONL producer and consumer in
+ * the tree: the simulation trace collector
+ * (sim/collectors/jsonl_writer.h is now a thin adapter over
+ * jsonl::Writer), the campaign journal (service/journal.h), and the
+ * `lsqca trace` / `lsqca report --chrome-trace` exports.
+ *
+ *  - Writer: one compact JSON document per line on a borrowed stream,
+ *    with a line count.
+ *  - Export: the tmp-file + rename publish cycle for whole-file JSONL
+ *    (or JSON) exports — a crash never leaves a torn file at the
+ *    final path, and "-" streams to stdout. Previously copy-pasted
+ *    between `lsqca trace` and the collectors.
+ *  - readLines: tolerant JSONL reader — a torn final line (no
+ *    trailing newline, as left by a killed writer) is dropped and
+ *    flagged instead of failing the parse.
+ */
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace lsqca::jsonl {
+
+/** Streams compact JSON documents, one per line. */
+class Writer
+{
+  public:
+    /** Borrowed stream; must outlive the writer. */
+    explicit Writer(std::ostream &out) : out_(&out) {}
+
+    void
+    emit(const Json &line)
+    {
+        *out_ << line.dump(0) << '\n';
+        ++lines_;
+    }
+
+    /** Lines written so far. */
+    std::int64_t lines() const { return lines_; }
+
+  private:
+    std::ostream *out_;
+    std::int64_t lines_ = 0;
+};
+
+/**
+ * Whole-file export target with atomic publication: bytes stream to
+ * `<path>.tmp` and publish() renames them into place, so readers see
+ * either nothing or the complete document. `path == "-"` streams to
+ * stdout (publish() is then a no-op). A destroyed-but-unpublished
+ * export removes its temp file.
+ */
+class Export
+{
+  public:
+    explicit Export(const std::string &path);
+    ~Export();
+
+    Export(const Export &) = delete;
+    Export &operator=(const Export &) = delete;
+
+    std::ostream &stream();
+
+    bool toStdout() const { return toStdout_; }
+
+    /** Final path ("-" for stdout). */
+    const std::string &path() const { return path_; }
+
+    /** Close and rename into place. @throws ConfigError on IO errors. */
+    void publish();
+
+  private:
+    std::string path_;
+    std::string tmpPath_;
+    std::ofstream file_;
+    bool toStdout_ = false;
+    bool published_ = false;
+};
+
+/** Outcome of readLines(). */
+struct ReadResult
+{
+    std::vector<Json> lines;
+    /**
+     * The file ended mid-line (a writer died mid-append); the torn
+     * tail is not in `lines`.
+     */
+    bool truncatedTail = false;
+};
+
+/**
+ * Parse @p path as JSONL. Complete lines must parse (@throws
+ * ConfigError naming the path and line number otherwise); an
+ * unterminated final line is tolerated and reported via
+ * `truncatedTail`.
+ */
+ReadResult readLines(const std::string &path);
+
+} // namespace lsqca::jsonl
+
+#endif // LSQCA_COMMON_JSONL_H

@@ -1,0 +1,110 @@
+#include "common/metrics.h"
+
+#include "common/error.h"
+
+namespace lsqca::metrics {
+
+void
+Histogram::observe(double v)
+{
+    // First observation seeds min/max; later ones fold in with CAS
+    // loops. count_ goes last so a reader that sees count >= 1 also
+    // sees a seeded min/max.
+    double expected = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(expected, expected + v,
+                                       std::memory_order_relaxed)) {
+    }
+    if (count_.load(std::memory_order_relaxed) == 0) {
+        min_.store(v, std::memory_order_relaxed);
+        max_.store(v, std::memory_order_relaxed);
+    } else {
+        double lo = min_.load(std::memory_order_relaxed);
+        while (v < lo && !min_.compare_exchange_weak(
+                             lo, v, std::memory_order_relaxed)) {
+        }
+        double hi = max_.load(std::memory_order_relaxed);
+        while (v > hi && !max_.compare_exchange_weak(
+                             hi, v, std::memory_order_relaxed)) {
+        }
+    }
+    count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double
+Histogram::mean() const
+{
+    const std::int64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+Registry::Instrument &
+Registry::slot(const std::string &name)
+{
+    LSQCA_ASSERT(!name.empty(), "metric names must be non-empty");
+    return instruments_[name];
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Instrument &inst = slot(name);
+    LSQCA_ASSERT(!inst.gauge && !inst.histogram,
+                 "metric \"" + name + "\" already registered with "
+                 "another kind");
+    if (!inst.counter)
+        inst.counter = std::make_unique<Counter>();
+    return *inst.counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Instrument &inst = slot(name);
+    LSQCA_ASSERT(!inst.counter && !inst.histogram,
+                 "metric \"" + name + "\" already registered with "
+                 "another kind");
+    if (!inst.gauge)
+        inst.gauge = std::make_unique<Gauge>();
+    return *inst.gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Instrument &inst = slot(name);
+    LSQCA_ASSERT(!inst.counter && !inst.gauge,
+                 "metric \"" + name + "\" already registered with "
+                 "another kind");
+    if (!inst.histogram)
+        inst.histogram = std::make_unique<Histogram>();
+    return *inst.histogram;
+}
+
+Json
+Registry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Json doc = Json::object();
+    // std::map iterates name-sorted: snapshots are order-independent.
+    for (const auto &[name, inst] : instruments_) {
+        if (inst.counter) {
+            doc.set(name, inst.counter->value());
+        } else if (inst.gauge) {
+            doc.set(name, inst.gauge->value());
+        } else if (inst.histogram) {
+            Json h = Json::object();
+            h.set("count", inst.histogram->count());
+            h.set("sum", inst.histogram->sum());
+            h.set("mean", inst.histogram->mean());
+            h.set("min", inst.histogram->min());
+            h.set("max", inst.histogram->max());
+            doc.set(name, std::move(h));
+        }
+    }
+    return doc;
+}
+
+} // namespace lsqca::metrics

@@ -1,0 +1,221 @@
+#include "service/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/error.h"
+#include "common/fs.h"
+
+namespace lsqca::service {
+namespace {
+
+/** Unix-epoch seconds, rounded to whole microseconds. */
+double
+wallNow()
+{
+    const auto now = std::chrono::system_clock::now().time_since_epoch();
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now);
+    return static_cast<double>(us.count()) / 1e6;
+}
+
+/** Round to whole microseconds so dumps are short and stable. */
+double
+roundMicros(double seconds)
+{
+    return std::round(seconds * 1e6) / 1e6;
+}
+
+} // namespace
+
+const char *
+journalClockName(JournalClock clock)
+{
+    return clock == JournalClock::Logical ? "logical" : "monotonic";
+}
+
+JournalClock
+journalClockFromName(const std::string &name)
+{
+    if (name == "monotonic")
+        return JournalClock::Monotonic;
+    if (name == "logical")
+        return JournalClock::Logical;
+    throw ConfigError("unknown journal clock '" + name +
+                      "' (expected monotonic or logical)");
+}
+
+std::string
+Journal::pathFor(const std::string &stateDir)
+{
+    return stateDir + "/events.jsonl";
+}
+
+Journal::~Journal() { close(); }
+
+Journal::Journal(Journal &&other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(std::exchange(other.fd_, -1)),
+      clock_(other.clock_),
+      seq_(other.seq_),
+      wall0_(other.wall0_)
+{
+}
+
+Journal &
+Journal::operator=(Journal &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        path_ = std::move(other.path_);
+        fd_ = std::exchange(other.fd_, -1);
+        clock_ = other.clock_;
+        seq_ = other.seq_;
+        wall0_ = other.wall0_;
+    }
+    return *this;
+}
+
+void
+Journal::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Journal
+Journal::open(const std::string &path, JournalClock clock)
+{
+    const std::size_t slash = path.rfind('/');
+    if (slash != std::string::npos)
+        fsutil::makeDirs(path.substr(0, slash));
+
+    Journal journal;
+    journal.path_ = path;
+    journal.clock_ = clock;
+
+    bool torn = false;
+    bool fresh = true;
+
+    struct ::stat st = {};
+    const bool exists = ::stat(path.c_str(), &st) == 0 && st.st_size > 0;
+    if (exists) {
+        // Recover the tail state of the existing journal: the last
+        // complete line fixes the next sequence number, the header
+        // fixes the campaign's time base. A torn final line (killed
+        // writer) is cut away before appending resumes.
+        const std::string text = fsutil::readFile(path);
+        std::size_t keep = text.size();
+        if (text.back() != '\n') {
+            torn = true;
+            const std::size_t nl = text.rfind('\n');
+            keep = nl == std::string::npos ? 0 : nl + 1;
+        }
+        std::size_t lastStart = std::string::npos;
+        if (keep > 0) {
+            const std::size_t nl = text.rfind('\n', keep - 2);
+            lastStart = nl == std::string::npos ? 0 : nl + 1;
+        }
+        if (lastStart != std::string::npos) {
+            fresh = false;
+            const std::size_t firstNl = text.find('\n');
+            Json header, last;
+            try {
+                header = Json::parse(text.substr(0, firstNl));
+                last = Json::parse(
+                    text.substr(lastStart, keep - 1 - lastStart));
+            } catch (const ConfigError &e) {
+                throw ConfigError("unreadable journal " + path + ": " +
+                                  e.what());
+            }
+            LSQCA_REQUIRE(header.isObject() && header.contains("event") &&
+                              header.at("event").asString() == "journal",
+                          path + " does not start with a journal header");
+            const std::string schema = header.at("schema").asString();
+            LSQCA_REQUIRE(schema == kEventsSchema,
+                          path + " has unsupported schema " + schema);
+            const JournalClock recorded =
+                journalClockFromName(header.at("clock").asString());
+            LSQCA_REQUIRE(recorded == clock,
+                          path + " was written with --clock " +
+                              journalClockName(recorded) +
+                              "; resume with the same clock");
+            journal.seq_ = last.at("seq").asInt();
+            if (const Json *wall0 = header.find("wall0"))
+                journal.wall0_ = wall0->asDouble();
+        }
+        if (torn && keep < text.size()) {
+            LSQCA_REQUIRE(
+                ::truncate(path.c_str(),
+                           static_cast<::off_t>(keep)) == 0,
+                "cannot repair torn journal " + path + ": " +
+                    std::strerror(errno));
+        }
+    }
+
+    // O_APPEND makes every record() a single atomic append, so
+    // concurrent `lsqca status` readers never observe an interleaved
+    // line and a crash can only tear the final one.
+    const int fd = ::open(path.c_str(),
+                          O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    LSQCA_REQUIRE(fd >= 0, "cannot open journal " + path + ": " +
+                               std::strerror(errno));
+    journal.fd_ = fd;
+
+    if (fresh) {
+        Json header = Json::object();
+        header.set("schema", kEventsSchema);
+        header.set("clock", journalClockName(clock));
+        if (clock == JournalClock::Monotonic) {
+            journal.wall0_ = wallNow();
+            header.set("wall0", journal.wall0_);
+        }
+        journal.record("journal", header);
+    }
+    if (torn)
+        journal.record("truncated", Json::object());
+    return journal;
+}
+
+void
+Journal::record(const std::string &kind, const Json &fields)
+{
+    if (fd_ < 0)
+        return;
+    ++seq_;
+    Json line = Json::object();
+    line.set("event", kind);
+    line.set("seq", seq_);
+    if (clock_ == JournalClock::Logical) {
+        line.set("t", seq_);
+    } else {
+        const double wall = wallNow();
+        line.set("t", roundMicros(wall - wall0_));
+        line.set("wall", wall);
+    }
+    if (fields.isObject())
+        for (const auto &[key, value] : fields.members())
+            line.set(key, value);
+    const std::string text = line.dump(0) + '\n';
+    std::size_t done = 0;
+    while (done < text.size()) {
+        const ::ssize_t n =
+            ::write(fd_, text.data() + done, text.size() - done);
+        if (n < 0 && errno == EINTR)
+            continue;
+        LSQCA_REQUIRE(n > 0, "cannot append to journal " + path_ + ": " +
+                                 std::strerror(errno));
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace lsqca::service

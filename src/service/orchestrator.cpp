@@ -11,6 +11,7 @@
 #include "api/spec.h"
 #include "common/error.h"
 #include "common/fs.h"
+#include "common/metrics.h"
 #include "common/subprocess.h"
 #include "common/table.h"
 #include "estimate/options.h"
@@ -46,7 +47,23 @@ struct RunningWorker
     proc::Pid pid = 0;
     Clock::time_point start;
     std::string logPath;
+    /** Worker slot (1..workers) — the journal/Chrome-trace track. */
+    std::int32_t slot = 0;
 };
+
+/** Lowest slot >= 1 not held by a live worker. */
+std::int32_t
+freeSlot(const std::vector<RunningWorker> &running)
+{
+    for (std::int32_t slot = 1;; ++slot) {
+        bool taken = false;
+        for (const RunningWorker &worker : running)
+            if (worker.slot == slot)
+                taken = true;
+        if (!taken)
+            return slot;
+    }
+}
 
 /**
  * Full-precision rendering for values that are re-parsed by workers
@@ -126,6 +143,25 @@ Orchestrator::inspect(const std::string &stateDir)
     return QueueState::load(queuePath(stateDir));
 }
 
+void
+Orchestrator::openJournal(const char *leg, const QueueState &state)
+{
+    if (!options_.journal) {
+        journal_ = Journal();
+        return;
+    }
+    journal_ =
+        Journal::open(Journal::pathFor(options_.stateDir), options_.clock);
+    Json fields = Json::object();
+    fields.set("campaign", state.campaign);
+    fields.set("spec", state.specPath);
+    fields.set("shards", state.shardCount);
+    fields.set("workers", options_.workers);
+    fields.set("max_attempts", state.maxAttempts);
+    fields.set("no_timing", state.noTiming);
+    journal_.record(leg, fields);
+}
+
 CampaignReport
 Orchestrator::submit(const std::string &specPath)
 {
@@ -169,6 +205,7 @@ Orchestrator::submit(const std::string &specPath)
     }
     fsutil::makeDirs(options_.stateDir);
     state.save(queueFile);
+    openJournal("submit", state);
     return drive(std::move(state));
 }
 
@@ -230,6 +267,7 @@ Orchestrator::resume()
                 task.status = TaskStatus::Pending;
     }
     state.save(queueFile);
+    openJournal("resume", state);
     return drive(std::move(state));
 }
 
@@ -238,6 +276,63 @@ Orchestrator::drive(QueueState state)
 {
     CampaignReport report;
     report.queuePath = queuePath(options_.stateDir);
+    if (journal_.enabled())
+        report.journalPath = journal_.path();
+
+    // One registry per drive: the same counters the CampaignReport
+    // carries, plus distributions the report's integers flatten. The
+    // snapshot lands in <state>/metrics.json at the end of the drive;
+    // tests cross-check it against the journal-derived numbers.
+    metrics::Registry metrics;
+    metrics::Counter &mSpawns = metrics.counter("service.spawns");
+    metrics::Counter &mCacheHits =
+        metrics.counter("service.cache.hits");
+    metrics::Counter &mCacheMisses =
+        metrics.counter("service.cache.misses");
+    metrics::Counter &mRetries = metrics.counter("service.retries");
+    metrics::Counter &mStragglers =
+        metrics.counter("service.stragglers_killed");
+    metrics::Counter &mEscalations =
+        metrics.counter("service.escalations");
+    metrics::Counter &mTasksDone = metrics.counter("service.tasks.done");
+    metrics::Counter &mTasksFailed =
+        metrics.counter("service.tasks.failed");
+    metrics::Counter &mBytesMerged =
+        metrics.counter("service.bytes_merged");
+    metrics::Histogram &mShardWall =
+        metrics.histogram("service.shard_wall_seconds");
+    metrics.gauge("service.workers")
+        .set(static_cast<double>(options_.workers));
+
+    // Journal fields must not depend on where the campaign directory
+    // happens to live (byte-stable --clock logical reruns).
+    const auto relativePath = [&](const std::string &path) {
+        const std::string prefix = options_.stateDir + "/";
+        if (path.rfind(prefix, 0) == 0)
+            return path.substr(prefix.size());
+        return path;
+    };
+
+    // Every exit from drive(): the terminal `done` event (the journal
+    // cross-check anchor) and the metrics snapshot.
+    const auto finish = [&]() -> CampaignReport {
+        Json fields = Json::object();
+        fields.set("complete", report.complete);
+        fields.set("interrupted", report.interrupted);
+        fields.set("spawned", report.spawned);
+        fields.set("cache_hits", report.cacheHits);
+        fields.set("retries", report.retries);
+        fields.set("stragglers_killed", report.stragglersKilled);
+        fields.set("escalations", report.escalations);
+        journal_.record("done", fields);
+        report.metrics = metrics.toJson();
+        if (journal_.enabled()) {
+            report.metricsPath = options_.stateDir + "/metrics.json";
+            fsutil::writeFileAtomic(report.metricsPath,
+                                    report.metrics.dump(2) + "\n");
+        }
+        return report;
+    };
 
     const std::string shardsDir = options_.stateDir + "/shards";
     // Escalated exact reruns land in a subdirectory: their worker
@@ -273,14 +368,23 @@ Orchestrator::drive(QueueState state)
             if (task.escalated)
                 fsutil::makeDirs(exactDir);
             if (!cache.fetch(task.fingerprint,
-                             taskDir(task) + "/" + name))
+                             taskDir(task) + "/" + name)) {
+                mCacheMisses.add();
                 continue;
+            }
             task.status = TaskStatus::Done;
             task.cached = true;
             task.wallSeconds = 0.0;
             task.output = taskOutput(task, name);
             task.lastError = "";
             ++report.cacheHits;
+            mCacheHits.add();
+            Json fields = Json::object();
+            fields.set("shard", task.index);
+            if (task.escalated)
+                fields.set("escalated", true);
+            fields.set("fingerprint", task.fingerprint);
+            journal_.record("cache_hit", fields);
         }
         state.save(report.queuePath);
     };
@@ -290,14 +394,35 @@ Orchestrator::drive(QueueState state)
     std::vector<double> doneWalls;
 
     // Crash/timeout/straggler funnel: back to pending while the
-    // attempt budget lasts, failed once it is exhausted.
-    const auto fail = [&](ShardTask &task, const std::string &reason) {
+    // attempt budget lasts, failed once it is exhausted. @p cause is
+    // the journal/metrics taxonomy: crash | timeout | straggler |
+    // no_output.
+    const auto fail = [&](ShardTask &task, const std::string &reason,
+                          const std::string &cause) {
         task.lastError = reason;
+        Json fields = Json::object();
+        fields.set("shard", task.index);
         if (task.attempts >= state.maxAttempts) {
             task.status = TaskStatus::Failed;
+            mTasksFailed.add();
+            fields.set("attempts", task.attempts);
+            fields.set("cause", cause);
+            // The free-text reason embeds wall times and log paths;
+            // the logical clock keeps only the deterministic cause
+            // (queue.json still holds the full string).
+            if (!journal_.logical())
+                fields.set("detail", reason);
+            journal_.record("task_failed", fields);
         } else {
             task.status = TaskStatus::Pending;
             ++report.retries;
+            mRetries.add();
+            metrics.counter("service.retries." + cause).add();
+            fields.set("attempt", task.attempts);
+            fields.set("cause", cause);
+            if (!journal_.logical())
+                fields.set("detail", reason);
+            journal_.record("retry", fields);
         }
     };
 
@@ -319,7 +444,13 @@ Orchestrator::drive(QueueState state)
         if (!spec.estimator.sampled() ||
             spec.estimator.targetCi <= 0.0)
             return false;
-        std::vector<std::int32_t> breached;
+        struct Breach
+        {
+            std::int32_t shard;
+            std::string entry;
+            double ci;
+        };
+        std::vector<Breach> breached;
         for (std::int32_t i = 0; i < state.shardCount; ++i) {
             const ShardTask &task =
                 state.tasks[static_cast<std::size_t>(i)];
@@ -332,7 +463,9 @@ Orchestrator::drive(QueueState state)
                     entry.at("metrics").find("sampling_error");
                 if (error != nullptr &&
                     error->asDouble() > spec.estimator.targetCi) {
-                    breached.push_back(i);
+                    breached.push_back({i,
+                                        entry.at("name").asString(),
+                                        error->asDouble()});
                     break;
                 }
             }
@@ -344,13 +477,21 @@ Orchestrator::drive(QueueState state)
         const std::vector<std::string> exact = exactShardFingerprints(
             spec, api::expandSpec(spec, registry), state.shardCount,
             state.noTiming);
-        for (const std::int32_t i : breached) {
+        for (const Breach &breach : breached) {
             ShardTask task;
-            task.index = i;
-            task.fingerprint = exact[static_cast<std::size_t>(i)];
+            task.index = breach.shard;
+            task.fingerprint =
+                exact[static_cast<std::size_t>(breach.shard)];
             task.escalated = true;
             state.tasks.push_back(std::move(task));
             ++report.escalations;
+            mEscalations.add();
+            Json fields = Json::object();
+            fields.set("shard", breach.shard);
+            fields.set("entry", breach.entry);
+            fields.set("ci", breach.ci);
+            fields.set("target_ci", spec.estimator.targetCi);
+            journal_.record("escalation", fields);
         }
         state.save(report.queuePath);
         return true;
@@ -411,21 +552,37 @@ Orchestrator::drive(QueueState state)
 
             RunningWorker worker;
             worker.task = t;
+            worker.slot = freeSlot(running);
             worker.pid = proc::spawn(command);
             worker.start = Clock::now();
             worker.logPath = command.logPath;
-            running.push_back(std::move(worker));
             ++report.spawned;
+            mSpawns.add();
+            {
+                Json fields = Json::object();
+                fields.set("shard", task.index);
+                fields.set("attempt", task.attempts);
+                fields.set("worker", worker.slot);
+                if (task.escalated)
+                    fields.set("escalated", true);
+                if (!journal_.logical())
+                    fields.set("pid", worker.pid);
+                journal_.record("spawn", fields);
+            }
+            running.push_back(std::move(worker));
 
             if (options_.stopAfterDispatches > 0 &&
                 report.spawned >= options_.stopAfterDispatches) {
                 // Simulated orchestrator death: the queue keeps the
-                // tasks marked running; resume() re-queues them.
+                // tasks marked running; resume() re-queues them. The
+                // live attempts get no exit events — exactly what a
+                // real dead orchestrator leaves behind — so the
+                // report's open-span closure path is what tests see.
                 for (const RunningWorker &live : running)
                     reap(live);
                 report.interrupted = true;
                 report.queue = state;
-                return report;
+                return finish();
             }
         }
 
@@ -465,6 +622,17 @@ Orchestrator::drive(QueueState state)
                 elapsed > taskDeadline) {
                 reap(worker);
                 ++report.stragglersKilled;
+                mStragglers.add();
+                {
+                    Json fields = Json::object();
+                    fields.set("shard", task.index);
+                    fields.set("attempt", task.attempts);
+                    fields.set("worker", worker.slot);
+                    fields.set("killed", true);
+                    if (!journal_.logical())
+                        fields.set("wall_s", elapsed);
+                    journal_.record("exit", fields);
+                }
                 fail(task,
                      "straggler killed after " +
                          TextTable::num(elapsed, 3) + " s (deadline " +
@@ -472,7 +640,8 @@ Orchestrator::drive(QueueState state)
                          " s, attempt " + std::to_string(task.attempts) +
                          ", base = " +
                          TextTable::num(options_.stragglerFactor, 3) +
-                         " x median done wall)");
+                         " x median done wall)",
+                     "straggler");
                 state.save(report.queuePath);
                 running.erase(running.begin() +
                               static_cast<std::ptrdiff_t>(w));
@@ -486,6 +655,21 @@ Orchestrator::drive(QueueState state)
             const std::string name = shardFileName(
                 state.campaign, task.index, state.shardCount);
             const std::string outPath = taskDir(task) + "/" + name;
+            {
+                Json fields = Json::object();
+                fields.set("shard", task.index);
+                fields.set("attempt", task.attempts);
+                fields.set("worker", worker.slot);
+                if (status.ok())
+                    fields.set("ok", true);
+                else if (status.exited)
+                    fields.set("code", status.exitCode);
+                else
+                    fields.set("signal", status.signal);
+                if (!journal_.logical())
+                    fields.set("wall_s", elapsed);
+                journal_.record("exit", fields);
+            }
             if (status.ok() && fsutil::exists(outPath)) {
                 task.status = TaskStatus::Done;
                 task.cached = false;
@@ -494,17 +678,29 @@ Orchestrator::drive(QueueState state)
                 task.lastError = "";
                 doneWalls.push_back(elapsed);
                 cache.store(task.fingerprint, outPath);
+                mTasksDone.add();
+                mShardWall.observe(elapsed);
+                Json fields = Json::object();
+                fields.set("shard", task.index);
+                if (task.escalated)
+                    fields.set("escalated", true);
+                fields.set("output", task.output);
+                journal_.record("task_done", fields);
             } else if (status.ok()) {
-                fail(task, "worker exited 0 without writing " + name);
+                fail(task, "worker exited 0 without writing " + name,
+                     "no_output");
             } else {
                 std::string reason = "worker " + status.describe();
+                std::string cause = "crash";
                 if (status.exited &&
-                    status.exitCode == api::kTimeoutExitCode)
+                    status.exitCode == api::kTimeoutExitCode) {
                     reason += " (timed out)";
-                else if (status.exited &&
-                         status.exitCode == api::kDieAfterExitCode)
+                    cause = "timeout";
+                } else if (status.exited &&
+                           status.exitCode == api::kDieAfterExitCode) {
                     reason += " (died mid-shard)";
-                fail(task, reason + "; see " + worker.logPath);
+                }
+                fail(task, reason + "; see " + worker.logPath, cause);
             }
             state.save(report.queuePath);
             running.erase(running.begin() +
@@ -518,7 +714,7 @@ Orchestrator::drive(QueueState state)
 
     report.queue = state;
     if (!state.allDone())
-        return report;
+        return finish();
 
     // Merge in shard order through the same path `lsqca merge` uses;
     // under --no-timing the artifact is byte-identical to a direct
@@ -542,8 +738,18 @@ Orchestrator::drive(QueueState state)
         state.campaign, merged,
         options_.outDir.empty() ? options_.stateDir : options_.outDir);
     report.complete = true;
+    {
+        Json fields = Json::object();
+        fields.set("path", relativePath(report.mergedPath));
+        fields.set("shards", state.shardCount);
+        const std::int64_t bytes = static_cast<std::int64_t>(
+            std::filesystem::file_size(report.mergedPath));
+        fields.set("bytes", bytes);
+        mBytesMerged.add(bytes);
+        journal_.record("merge", fields);
+    }
     report.queue = state;
-    return report;
+    return finish();
 }
 
 } // namespace lsqca::service

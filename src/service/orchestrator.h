@@ -35,6 +35,10 @@
  * State-dir layout:
  *
  *     <state>/queue.json       lsqca-queue-v1 (source of truth)
+ *     <state>/events.jsonl     lsqca-events-v1 campaign journal
+ *                              (service/journal.h; read by `lsqca
+ *                              report` and `lsqca status`)
+ *     <state>/metrics.json     registry snapshot of the last drive
  *     <state>/shards/BENCH_*   per-shard worker output
  *     <state>/shards/exact/BENCH_*  escalated exact reruns
  *     <state>/logs/shard<i>.attempt<a>.log
@@ -46,6 +50,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
+#include "service/journal.h"
 #include "service/queue.h"
 
 namespace lsqca::service {
@@ -82,6 +88,14 @@ struct OrchestratorOptions
     std::string workerExe;
     /** Poll interval while workers run. */
     double pollSeconds = 0.02;
+    /** Append the campaign journal (events.jsonl) while driving. */
+    bool journal = true;
+    /**
+     * Journal time base: Monotonic stamps real times; Logical stamps
+     * deterministic counters (and drops wall-time payload fields), so
+     * reruns of a deterministic campaign journal byte-identically.
+     */
+    JournalClock clock = JournalClock::Monotonic;
 
     // Test hooks (exercised by tests/service and the CI smoke gate).
     /** Extra argv appended to every worker invocation. */
@@ -113,6 +127,12 @@ struct CampaignReport
     /** Merged BENCH path ("" unless complete). */
     std::string mergedPath;
     std::string queuePath;
+    /** Campaign journal path ("" when journaling is disabled). */
+    std::string journalPath;
+    /** Metrics snapshot path ("" when journaling is disabled). */
+    std::string metricsPath;
+    /** The drive's final metrics snapshot (same doc as metricsPath). */
+    Json metrics;
     /** Final queue snapshot (matches the file on disk). */
     QueueState queue;
 };
@@ -155,8 +175,11 @@ class Orchestrator
 
   private:
     CampaignReport drive(QueueState state);
+    /** Open events.jsonl and record the @p leg event (no-op if off). */
+    void openJournal(const char *leg, const QueueState &state);
 
     OrchestratorOptions options_;
+    Journal journal_;
 };
 
 } // namespace lsqca::service

@@ -68,13 +68,6 @@ Timeline::writeJsonl(std::ostream &out) const
 }
 
 void
-JsonlWriter::emit(const Json &line)
-{
-    *out_ << line.dump(0) << '\n';
-    ++lines_;
-}
-
-void
 JsonlWriter::onSimBegin(const SimBeginEvent &event)
 {
     Json line = Json::object();

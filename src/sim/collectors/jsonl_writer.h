@@ -6,6 +6,12 @@
  * JsonlWriter: streams every simulation event as one compact JSON
  * object per line — the `lsqca trace` export format.
  *
+ * This header is now a thin adapter: the generic JSON-Lines
+ * machinery (line emission, line counting, the tmp-file + rename
+ * export cycle) moved to common/jsonl.h, shared with the campaign
+ * journal (service/journal.h) and the CLI exports. What stays here is
+ * only the simulation-event -> line mapping.
+ *
  * Line schema (docs/OBSERVERS.md; every line has an "event" tag):
  *
  *   {"event":"begin","arch":...,"instructions":N,"banks":[...]}
@@ -25,6 +31,7 @@
 #include <ostream>
 
 #include "common/json.h"
+#include "common/jsonl.h"
 #include "sim/observer.h"
 
 namespace lsqca::collectors {
@@ -36,7 +43,7 @@ class JsonlWriter : public SimObserver
 {
   public:
     /** Borrowed stream; must outlive the writer. */
-    explicit JsonlWriter(std::ostream &out) : out_(&out) {}
+    explicit JsonlWriter(std::ostream &out) : writer_(out) {}
 
     void onSimBegin(const SimBeginEvent &event) override;
     void onInstruction(const InstructionEvent &event) override;
@@ -45,13 +52,12 @@ class JsonlWriter : public SimObserver
     void onSimEnd(const SimEndEvent &event) override;
 
     /** Lines written so far. */
-    std::int64_t lines() const { return lines_; }
+    std::int64_t lines() const { return writer_.lines(); }
 
   private:
-    void emit(const Json &line);
+    void emit(const Json &line) { writer_.emit(line); }
 
-    std::ostream *out_;
-    std::int64_t lines_ = 0;
+    jsonl::Writer writer_;
 };
 
 } // namespace lsqca::collectors

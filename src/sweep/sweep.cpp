@@ -26,7 +26,8 @@ SweepEngine::SweepEngine(SweepOptions options)
     : threads_(options.threads > 0
                    ? options.threads
                    : static_cast<std::int32_t>(std::max(
-                         1u, std::thread::hardware_concurrency())))
+                         1u, std::thread::hardware_concurrency()))),
+      metrics_(options.metrics)
 {
 }
 
@@ -42,6 +43,17 @@ SweepEngine::run(const std::vector<SweepJob> &jobs) const
         LSQCA_REQUIRE(job.program != nullptr,
                       "sweep job '" + job.name + "' has no program");
 
+    // Instrument lookups happen once, here; per-job updates are
+    // relaxed atomics (common/metrics.h). All null when detached.
+    metrics::Counter *jobsDone =
+        metrics_ ? &metrics_->counter("sweep.jobs") : nullptr;
+    metrics::Histogram *jobWall =
+        metrics_ ? &metrics_->histogram("sweep.job_wall_seconds")
+                 : nullptr;
+    metrics::Histogram *queueWait =
+        metrics_ ? &metrics_->histogram("sweep.queue_wait_seconds")
+                 : nullptr;
+
     // Workers pull the next job index from a shared counter: cheap
     // dynamic load balancing (job costs vary by orders of magnitude)
     // while each result lands in its submission slot, keeping the
@@ -52,30 +64,62 @@ SweepEngine::run(const std::vector<SweepJob> &jobs) const
         report.results[index] =
             simulate(*jobs[index].program, jobs[index].options);
         report.jobSeconds[index] = secondsSince(j0);
+        if (jobsDone != nullptr) {
+            jobsDone->add();
+            jobWall->observe(report.jobSeconds[index]);
+        }
+    };
+
+    // A job's queue wait is the sweep time that passed before its
+    // worker picked it up, net of that worker's own busy time — the
+    // load-imbalance signal `lsqca report`-style tooling reads.
+    const auto finishWorker = [&](std::size_t w, double busy) {
+        if (metrics_ != nullptr)
+            metrics_
+                ->gauge("sweep.worker." + std::to_string(w + 1) +
+                        ".busy_seconds")
+                .set(busy);
     };
 
     if (threads_ <= 1 || jobs.size() <= 1) {
-        for (std::size_t i = 0; i < jobs.size(); ++i)
+        double busy = 0.0;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (queueWait != nullptr)
+                queueWait->observe(
+                    std::max(0.0, secondsSince(t0) - busy));
             runJob(i);
+            busy += report.jobSeconds[i];
+        }
+        finishWorker(0, busy);
         report.wallSeconds = secondsSince(t0);
+        if (metrics_ != nullptr)
+            metrics_->gauge("sweep.wall_seconds")
+                .set(report.wallSeconds);
         return report;
     }
 
     ThreadPool pool(static_cast<std::size_t>(
         std::min<std::int64_t>(threads_,
                                static_cast<std::int64_t>(jobs.size()))));
+    pool.attachMetrics(metrics_);
     std::atomic<std::size_t> next{0};
     std::vector<std::future<void>> drained;
     drained.reserve(pool.size());
     for (std::size_t w = 0; w < pool.size(); ++w) {
-        drained.push_back(pool.submit([&] {
+        drained.push_back(pool.submit([&, w] {
+            double busy = 0.0;
             for (;;) {
                 const std::size_t index =
                     next.fetch_add(1, std::memory_order_relaxed);
                 if (index >= jobs.size())
-                    return;
+                    break;
+                if (queueWait != nullptr)
+                    queueWait->observe(
+                        std::max(0.0, secondsSince(t0) - busy));
                 runJob(index);
+                busy += report.jobSeconds[index];
             }
+            finishWorker(w, busy);
         }));
     }
     // get() rethrows the first worker exception after all settle.
@@ -91,6 +135,8 @@ SweepEngine::run(const std::vector<SweepJob> &jobs) const
     if (failure)
         std::rethrow_exception(failure);
     report.wallSeconds = secondsSince(t0);
+    if (metrics_ != nullptr)
+        metrics_->gauge("sweep.wall_seconds").set(report.wallSeconds);
     return report;
 }
 

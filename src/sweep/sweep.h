@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/metrics.h"
 #include "isa/program.h"
 #include "sim/simulator.h"
 
@@ -48,6 +49,16 @@ struct SweepOptions
 {
     /** Worker threads; 0 = hardware_concurrency. */
     std::int32_t threads = 0;
+    /**
+     * Optional observability registry (must outlive the run call).
+     * When attached, each run() accounts `sweep.jobs`,
+     * `sweep.job_wall_seconds`, `sweep.queue_wait_seconds`,
+     * per-worker `sweep.worker.<w>.busy_seconds` gauges, and the
+     * pool's queue metrics (docs/METRICS.md). Detached (the default),
+     * the engine takes no extra clock reads and results — and BENCH
+     * bytes — are exactly those of an uninstrumented run.
+     */
+    metrics::Registry *metrics = nullptr;
 };
 
 /** Fans simulate() jobs across a fixed thread pool. */
@@ -66,6 +77,7 @@ class SweepEngine
 
   private:
     std::int32_t threads_;
+    metrics::Registry *metrics_;
 };
 
 /**

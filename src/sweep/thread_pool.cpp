@@ -33,7 +33,7 @@ ThreadPool::workerLoop()
 {
     t_insideWorker = true;
     for (;;) {
-        std::function<void()> task;
+        Queued task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             ready_.wait(lock,
@@ -43,8 +43,26 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task(); // packaged_task captures any exception into the future
+        if (task.stamped)
+            if (metrics::Histogram *wait =
+                    queueWait_.load(std::memory_order_relaxed))
+                wait->observe(std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  task.enqueued)
+                                  .count());
+        task.run(); // packaged_task captures exceptions into the future
     }
+}
+
+void
+ThreadPool::attachMetrics(metrics::Registry *registry)
+{
+    tasks_.store(registry ? &registry->counter("pool.tasks") : nullptr,
+                 std::memory_order_relaxed);
+    queueWait_.store(
+        registry ? &registry->histogram("pool.queue_wait_seconds")
+                 : nullptr,
+        std::memory_order_relaxed);
 }
 
 bool

@@ -20,6 +20,8 @@
  *    (never blocking on their own queue), making nested use safe.
  */
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -30,6 +32,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/metrics.h"
 
 namespace lsqca {
 
@@ -62,11 +66,31 @@ class ThreadPool
         std::future<R> result = packaged->get_future();
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            queue_.emplace_back([packaged] { (*packaged)(); });
+            Queued entry;
+            entry.run = [packaged] { (*packaged)(); };
+            // Clock reads only when a registry is watching: the
+            // default enqueue path stays timestamp-free.
+            if (queueWait_.load(std::memory_order_relaxed) != nullptr) {
+                entry.enqueued = std::chrono::steady_clock::now();
+                entry.stamped = true;
+            }
+            queue_.push_back(std::move(entry));
         }
+        if (metrics::Counter *tasks =
+                tasks_.load(std::memory_order_relaxed))
+            tasks->add();
         ready_.notify_one();
         return result;
     }
+
+    /**
+     * Attach @p registry (which must outlive the pool or a later
+     * attachMetrics(nullptr)): every task's submit -> dequeue wait
+     * lands in the `pool.queue_wait_seconds` histogram and submissions
+     * count into `pool.tasks`. Detached (the default), the pool takes
+     * no clock reads and the hot path is unchanged.
+     */
+    void attachMetrics(metrics::Registry *registry);
 
     /** Whether the calling thread is one of this pool's workers. */
     static bool insideWorker();
@@ -78,13 +102,24 @@ class ThreadPool
     static ThreadPool &shared();
 
   private:
+    /** One queued task, optionally stamped with its enqueue time. */
+    struct Queued
+    {
+        std::function<void()> run;
+        std::chrono::steady_clock::time_point enqueued;
+        bool stamped = false;
+    };
+
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<Queued> queue_;
     std::mutex mutex_;
     std::condition_variable ready_;
     bool stopping_ = false;
+    /** Cached instruments of the attached registry (null = detached). */
+    std::atomic<metrics::Counter *> tasks_{nullptr};
+    std::atomic<metrics::Histogram *> queueWait_{nullptr};
 };
 
 /**

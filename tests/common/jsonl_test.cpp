@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared JSONL plumbing tests: the compact line writer, the
+ * tmp+rename Export publish cycle (`lsqca trace` and
+ * `--chrome-trace` ride on it), and the tolerant reader's torn-tail
+ * handling — the same guarantee the campaign journal's crash-safety
+ * leans on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/fs.h"
+#include "common/jsonl.h"
+
+namespace lsqca::jsonl {
+namespace {
+
+std::string
+scratchDir(const std::string &tag)
+{
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    const std::string dir = ::testing::TempDir() + "lsqca_jsonl_" +
+                            info->name() + "_" + tag;
+    std::filesystem::remove_all(dir);
+    fsutil::makeDirs(dir);
+    return dir;
+}
+
+TEST(JsonlWriter, EmitsOneCompactDocumentPerLine)
+{
+    std::ostringstream out;
+    Writer writer(out);
+    Json a = Json::object();
+    a.set("event", "spawn");
+    a.set("shard", std::int64_t{3});
+    writer.emit(a);
+    writer.emit(Json::parse("[1,2]"));
+    EXPECT_EQ(writer.lines(), 2);
+    EXPECT_EQ(out.str(), "{\"event\":\"spawn\",\"shard\":3}\n[1,2]\n");
+}
+
+TEST(JsonlExport, PublishesAtomicallyViaTmpRename)
+{
+    const std::string dir = scratchDir("publish");
+    const std::string path = dir + "/events.jsonl";
+    {
+        Export target(path);
+        EXPECT_FALSE(target.toStdout());
+        target.stream() << "{\"x\":1}\n";
+        // Nothing at the final path until publish().
+        EXPECT_FALSE(fsutil::exists(path));
+        target.publish();
+    }
+    EXPECT_TRUE(fsutil::exists(path));
+    EXPECT_FALSE(fsutil::exists(path + ".tmp"));
+    EXPECT_EQ(fsutil::readFile(path), "{\"x\":1}\n");
+}
+
+TEST(JsonlExport, UnpublishedExportLeavesNothingBehind)
+{
+    const std::string dir = scratchDir("abandon");
+    const std::string path = dir + "/out.json";
+    {
+        Export target(path);
+        target.stream() << "partial";
+        // Destroyed without publish(): the crash/throw path.
+    }
+    EXPECT_FALSE(fsutil::exists(path));
+    EXPECT_FALSE(fsutil::exists(path + ".tmp"));
+}
+
+TEST(JsonlRead, ParsesCompleteLines)
+{
+    const std::string dir = scratchDir("read");
+    const std::string path = dir + "/lines.jsonl";
+    fsutil::writeFileAtomic(path, "{\"a\":1}\n{\"a\":2}\n");
+    const ReadResult result = readLines(path);
+    EXPECT_FALSE(result.truncatedTail);
+    ASSERT_EQ(result.lines.size(), 2u);
+    EXPECT_EQ(result.lines[0].at("a").asInt(), 1);
+    EXPECT_EQ(result.lines[1].at("a").asInt(), 2);
+}
+
+TEST(JsonlRead, ToleratesATornFinalLine)
+{
+    // A writer killed mid-append leaves an unterminated last line; the
+    // reader drops it and flags the tear instead of failing.
+    const std::string dir = scratchDir("torn");
+    const std::string path = dir + "/torn.jsonl";
+    fsutil::writeFileAtomic(path, "{\"a\":1}\n{\"a\":2}\n{\"a\":");
+    const ReadResult result = readLines(path);
+    EXPECT_TRUE(result.truncatedTail);
+    ASSERT_EQ(result.lines.size(), 2u);
+    EXPECT_EQ(result.lines[1].at("a").asInt(), 2);
+}
+
+TEST(JsonlRead, RejectsAMalformedCompleteLineWithItsNumber)
+{
+    const std::string dir = scratchDir("badline");
+    const std::string path = dir + "/bad.jsonl";
+    fsutil::writeFileAtomic(path, "{\"a\":1}\nnot json\n{\"a\":3}\n");
+    try {
+        readLines(path);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find(path), std::string::npos) << what;
+        EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    }
+}
+
+} // namespace
+} // namespace lsqca::jsonl

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/fs.h"
+#include "common/json.h"
 #include "common/subprocess.h"
 #include "service_test_util.h"
 
@@ -227,6 +228,165 @@ TEST(Cli, StatusShowsEstimatorModeAndEscalations)
         << status.output;
     EXPECT_NE(status.output.find("2 escalated"), std::string::npos)
         << status.output;
+}
+
+TEST(Cli, ReportReconstructsAnInterruptedCampaignFromTheJournal)
+{
+    const std::string dir = test::scratchDir("report");
+    // Interrupt mid-campaign, resume, then report: the full history —
+    // both legs, every spawn — comes from events.jsonl alone.
+    const CliResult interrupted = runCli(
+        {"submit", test::kSmokeSpec, "--workers", "2", "--shards",
+         "4", "--no-timing", "--state", dir + "/state",
+         "--clock", "logical", "--test-stop-after", "2"},
+        dir + "/submitlog");
+    EXPECT_EQ(interrupted.exitCode, 3);
+    // A journal only reopens under its original clock: resuming with
+    // the default (monotonic) clock is refused...
+    const CliResult wrongClock =
+        runCli({"resume", dir + "/state", "--workers", "2"},
+               dir + "/wrongclocklog");
+    EXPECT_EQ(wrongClock.exitCode, 1);
+    EXPECT_NE(wrongClock.output.find("clock"), std::string::npos)
+        << wrongClock.output;
+    // ...and the matching clock continues the same journal.
+    ASSERT_EQ(runCli({"resume", dir + "/state", "--workers", "2",
+                      "--clock", "logical"},
+                     dir + "/resumelog")
+                  .exitCode,
+              0);
+
+    const CliResult report =
+        runCli({"report", dir + "/state"}, dir + "/reportlog");
+    EXPECT_EQ(report.exitCode, 0);
+    EXPECT_NE(report.output.find("campaign smoke"), std::string::npos)
+        << report.output;
+    EXPECT_NE(report.output.find("status: complete"),
+              std::string::npos);
+    EXPECT_NE(report.output.find("2 legs"), std::string::npos)
+        << report.output;
+    EXPECT_NE(report.output.find("wall-clock breakdown"),
+              std::string::npos);
+    EXPECT_NE(report.output.find("worker utilization"),
+              std::string::npos);
+
+    // --chrome-trace publishes a Perfetto-loadable document whose
+    // spans all sit on real worker tracks with monotone durations.
+    const std::string tracePath = dir + "/trace.json";
+    const CliResult traced =
+        runCli({"report", dir + "/state", "--chrome-trace",
+                tracePath},
+               dir + "/tracelog");
+    EXPECT_EQ(traced.exitCode, 0);
+    EXPECT_NE(traced.output.find("chrome trace:"), std::string::npos)
+        << traced.output;
+    const Json doc = Json::parse(fsutil::readFile(tracePath));
+    int spans = 0;
+    for (const Json &event : doc.at("traceEvents").items())
+        if (event.at("ph").asString() == "X") {
+            ++spans;
+            EXPECT_GE(event.at("dur").asDouble(), 0.0);
+            EXPECT_GT(event.at("tid").asInt(), 0);
+        }
+    EXPECT_GE(spans, 4); // at least one attempt per shard
+}
+
+TEST(Cli, ReportIsByteIdenticalAcrossLogicalClockReruns)
+{
+    const std::string dir = test::scratchDir("reportbytes");
+    const auto campaign = [&](const std::string &state,
+                              const std::string &log) {
+        EXPECT_EQ(runCli({"submit", test::kSmokeSpec, "--workers",
+                          "1", "--shards", "2", "--no-timing",
+                          "--state", state, "--clock", "logical"},
+                         log)
+                      .exitCode,
+                  0);
+        return runCli({"report", state}, log + ".report").output;
+    };
+    const std::string first = campaign(dir + "/a", dir + "/log1");
+    const std::string second = campaign(dir + "/b", dir + "/log2");
+    EXPECT_EQ(first, second);
+    // Logical clock reports in event units, not seconds.
+    EXPECT_NE(first.find("span_ev"), std::string::npos) << first;
+}
+
+TEST(Cli, ReportExplainsAMissingJournal)
+{
+    const std::string dir = test::scratchDir("reportnojournal");
+    ASSERT_EQ(runCli({"submit", test::kSmokeSpec, "--workers", "1",
+                      "--shards", "2", "--no-timing", "--state",
+                      dir + "/state", "--no-journal"},
+                     dir + "/submitlog")
+                  .exitCode,
+              0);
+    EXPECT_FALSE(fsutil::exists(dir + "/state/events.jsonl"));
+    const CliResult report =
+        runCli({"report", dir + "/state"}, dir + "/reportlog");
+    EXPECT_EQ(report.exitCode, 1);
+    EXPECT_NE(report.output.find("no campaign journal"),
+              std::string::npos)
+        << report.output;
+}
+
+TEST(Cli, StatusShowsAgeColumnAndStragglerWarning)
+{
+    const std::string dir = test::scratchDir("statusage");
+    ASSERT_EQ(runCli({"submit", test::kSmokeSpec, "--workers", "2",
+                      "--shards", "2", "--no-timing", "--state",
+                      dir + "/state"},
+                     dir + "/submitlog")
+                  .exitCode,
+              0);
+    const CliResult status =
+        runCli({"status", dir + "/state"}, dir + "/statuslog");
+    EXPECT_EQ(status.exitCode, 0);
+    EXPECT_NE(status.output.find("age_s"), std::string::npos)
+        << status.output;
+
+    // Splice a straggler-kill retry into the journal (the event the
+    // orchestrator writes when it shoots a slow worker) and status
+    // surfaces the explicit warning, pointing at `lsqca report`.
+    const std::string journal = dir + "/state/events.jsonl";
+    fsutil::writeFileAtomic(
+        journal,
+        fsutil::readFile(journal) +
+            "{\"event\":\"retry\",\"seq\":999,\"t\":999,"
+            "\"shard\":0,\"attempt\":1,\"cause\":\"straggler\"}\n");
+    const CliResult warned =
+        runCli({"status", dir + "/state"}, dir + "/warnlog");
+    EXPECT_EQ(warned.exitCode, 0);
+    EXPECT_NE(warned.output.find("warning: 1 straggler kill"),
+              std::string::npos)
+        << warned.output;
+    EXPECT_NE(warned.output.find("lsqca report"), std::string::npos);
+}
+
+TEST(Cli, RunWritesAMetricsSnapshotOnRequest)
+{
+    const std::string dir = test::scratchDir("runmetrics");
+    const CliResult result =
+        runCli({"run", test::kSmokeSpec, "--threads", "2",
+                "--no-timing", "--out", dir + "/out", "--metrics",
+                dir + "/metrics.json"},
+               dir + "/runlog");
+    EXPECT_EQ(result.exitCode, 0);
+    const Json snapshot =
+        Json::parse(fsutil::readFile(dir + "/metrics.json"));
+    EXPECT_GT(snapshot.at("sweep.jobs").asInt(), 0);
+    EXPECT_GT(snapshot.at("sweep.job_wall_seconds").at("count")
+                  .asInt(),
+              0);
+    EXPECT_GT(snapshot.at("pool.tasks").asInt(), 0);
+    // The snapshot is an opt-in side channel: BENCH bytes match an
+    // uninstrumented run exactly.
+    const CliResult plain =
+        runCli({"run", test::kSmokeSpec, "--threads", "2",
+                "--no-timing", "--out", dir + "/plain"},
+               dir + "/plainlog");
+    EXPECT_EQ(plain.exitCode, 0);
+    EXPECT_EQ(fsutil::readFile(dir + "/out/BENCH_smoke.json"),
+              fsutil::readFile(dir + "/plain/BENCH_smoke.json"));
 }
 
 TEST(Cli, SubmitRejectsUnknownFlagsAndNonFileSpecs)

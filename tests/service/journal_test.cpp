@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Campaign journal crash-safety and determinism: header/sequence
+ * invariants, reopen continuity (one continuous history across
+ * interrupt + resume), torn-tail repair (a writer killed mid-append
+ * leaves a reloadable journal), the clock-mismatch guard, and the
+ * logical clock's byte-determinism — the substrate the `lsqca report`
+ * acceptance contract stands on (docs/METRICS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+#include "common/fs.h"
+#include "common/jsonl.h"
+#include "service/journal.h"
+#include "service_test_util.h"
+
+namespace lsqca::service {
+namespace {
+
+Json
+fields(std::initializer_list<std::pair<const char *, std::int64_t>>
+           pairs)
+{
+    Json object = Json::object();
+    for (const auto &[key, value] : pairs)
+        object.set(key, value);
+    return object;
+}
+
+TEST(Journal, PathForAndDisabledNullObject)
+{
+    EXPECT_EQ(Journal::pathFor("/x/state"), "/x/state/events.jsonl");
+    Journal disabled;
+    EXPECT_FALSE(disabled.enabled());
+    disabled.record("spawn", fields({{"shard", 1}})); // no-op, no crash
+    EXPECT_EQ(disabled.seq(), 0);
+    EXPECT_EQ(disabled.path(), "");
+}
+
+TEST(Journal, FreshJournalStartsWithAHeaderAndSequences)
+{
+    const std::string dir = test::scratchDir("fresh");
+    const std::string path = Journal::pathFor(dir);
+    {
+        Journal journal = Journal::open(path, JournalClock::Logical);
+        ASSERT_TRUE(journal.enabled());
+        EXPECT_TRUE(journal.logical());
+        EXPECT_EQ(journal.seq(), 1); // the header event
+        journal.record("spawn",
+                       fields({{"shard", 0}, {"attempt", 1},
+                               {"worker", 1}}));
+        EXPECT_EQ(journal.seq(), 2);
+    }
+    const jsonl::ReadResult read = jsonl::readLines(path);
+    EXPECT_FALSE(read.truncatedTail);
+    ASSERT_EQ(read.lines.size(), 2u);
+    const Json &header = read.lines.front();
+    EXPECT_EQ(header.at("event").asString(), "journal");
+    EXPECT_EQ(header.at("seq").asInt(), 1);
+    EXPECT_EQ(header.at("schema").asString(), kEventsSchema);
+    EXPECT_EQ(header.at("clock").asString(), "logical");
+    // Logical clock: t == seq, and no wall fields anywhere.
+    EXPECT_EQ(header.at("t").asInt(), 1);
+    EXPECT_EQ(header.find("wall"), nullptr);
+    EXPECT_EQ(header.find("wall0"), nullptr);
+    EXPECT_EQ(read.lines[1].at("t").asInt(), 2);
+}
+
+TEST(Journal, MonotonicHeaderCarriesWallEpoch)
+{
+    const std::string dir = test::scratchDir("wall");
+    const std::string path = Journal::pathFor(dir);
+    {
+        Journal journal = Journal::open(path, JournalClock::Monotonic);
+        EXPECT_FALSE(journal.logical());
+        journal.record("spawn",
+                       fields({{"shard", 0}, {"attempt", 1},
+                               {"worker", 1}}));
+    }
+    const jsonl::ReadResult read = jsonl::readLines(path);
+    ASSERT_EQ(read.lines.size(), 2u);
+    const Json &header = read.lines.front();
+    EXPECT_EQ(header.at("clock").asString(), "monotonic");
+    EXPECT_GT(header.at("wall").asDouble(), 0.0);
+    EXPECT_GT(header.at("wall0").asDouble(), 0.0);
+    // t is seconds since the campaign epoch: small and non-negative.
+    EXPECT_GE(read.lines[1].at("t").asDouble(), 0.0);
+    EXPECT_LT(read.lines[1].at("t").asDouble(), 60.0);
+}
+
+TEST(Journal, ReopenContinuesTheSequence)
+{
+    const std::string dir = test::scratchDir("reopen");
+    const std::string path = Journal::pathFor(dir);
+    {
+        Journal journal = Journal::open(path, JournalClock::Logical);
+        journal.record("submit", fields({{"shards", 4}}));
+    } // interrupt: writer closes cleanly mid-campaign
+    {
+        Journal journal = Journal::open(path, JournalClock::Logical);
+        EXPECT_EQ(journal.seq(), 2); // continues, no second header
+        journal.record("resume", fields({{"shards", 4}}));
+        EXPECT_EQ(journal.seq(), 3);
+    }
+    const jsonl::ReadResult read = jsonl::readLines(path);
+    ASSERT_EQ(read.lines.size(), 3u);
+    // One continuous history: exactly one header, seq 1..3.
+    EXPECT_EQ(read.lines[0].at("event").asString(), "journal");
+    EXPECT_EQ(read.lines[1].at("event").asString(), "submit");
+    EXPECT_EQ(read.lines[2].at("event").asString(), "resume");
+    for (std::size_t i = 0; i < read.lines.size(); ++i)
+        EXPECT_EQ(read.lines[i].at("seq").asInt(),
+                  static_cast<std::int64_t>(i + 1));
+}
+
+TEST(Journal, TornTailIsTruncatedAndLoggedOnReopen)
+{
+    const std::string dir = test::scratchDir("torn");
+    const std::string path = Journal::pathFor(dir);
+    {
+        Journal journal = Journal::open(path, JournalClock::Logical);
+        journal.record("spawn",
+                       fields({{"shard", 0}, {"attempt", 1},
+                               {"worker", 1}}));
+    }
+    // Simulate a writer killed mid-append: a torn, unterminated line.
+    const std::string intact = fsutil::readFile(path);
+    fsutil::writeFileAtomic(path, intact + "{\"event\":\"exi");
+
+    // Readers of the (still-torn) journal tolerate the tail...
+    EXPECT_TRUE(jsonl::readLines(path).truncatedTail);
+
+    // ...and reopening repairs it: tail cut, `truncated` appended,
+    // sequence continuing from the last complete record.
+    {
+        Journal journal = Journal::open(path, JournalClock::Logical);
+        EXPECT_EQ(journal.seq(), 3);
+        journal.record("resume", fields({{"shards", 1}}));
+    }
+    const jsonl::ReadResult read = jsonl::readLines(path);
+    EXPECT_FALSE(read.truncatedTail);
+    ASSERT_EQ(read.lines.size(), 4u);
+    EXPECT_EQ(read.lines[2].at("event").asString(), "truncated");
+    EXPECT_EQ(read.lines[2].at("seq").asInt(), 3);
+    EXPECT_EQ(read.lines[3].at("event").asString(), "resume");
+    EXPECT_EQ(read.lines[3].at("seq").asInt(), 4);
+}
+
+TEST(Journal, ReopenRejectsAClockMismatch)
+{
+    const std::string dir = test::scratchDir("clockmismatch");
+    const std::string path = Journal::pathFor(dir);
+    { Journal::open(path, JournalClock::Logical); }
+    try {
+        Journal::open(path, JournalClock::Monotonic);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &error) {
+        EXPECT_NE(std::string(error.what()).find("clock"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(Journal, LogicalClockJournalsAreByteDeterministic)
+{
+    const std::string dir = test::scratchDir("deterministic");
+    const auto write = [&](const std::string &path) {
+        Journal journal = Journal::open(path, JournalClock::Logical);
+        journal.record("submit", fields({{"shards", 2}}));
+        journal.record("spawn",
+                       fields({{"shard", 0}, {"attempt", 1},
+                               {"worker", 1}}));
+        Json exit = fields({{"shard", 0}, {"attempt", 1},
+                            {"worker", 1}});
+        exit.set("ok", true);
+        journal.record("exit", exit);
+    };
+    write(dir + "/a.jsonl");
+    write(dir + "/b.jsonl");
+    EXPECT_EQ(fsutil::readFile(dir + "/a.jsonl"),
+              fsutil::readFile(dir + "/b.jsonl"));
+}
+
+TEST(Journal, ClockNamesRoundTrip)
+{
+    EXPECT_STREQ(journalClockName(JournalClock::Monotonic),
+                 "monotonic");
+    EXPECT_STREQ(journalClockName(JournalClock::Logical), "logical");
+    EXPECT_EQ(journalClockFromName("monotonic"),
+              JournalClock::Monotonic);
+    EXPECT_EQ(journalClockFromName("logical"), JournalClock::Logical);
+    EXPECT_THROW(journalClockFromName("wall"), ConfigError);
+}
+
+} // namespace
+} // namespace lsqca::service

@@ -14,7 +14,9 @@
 #include "common/error.h"
 #include "common/fs.h"
 #include "common/hash.h"
+#include "service/journal.h"
 #include "service/orchestrator.h"
+#include "service/report.h"
 #include "service_test_util.h"
 
 namespace lsqca::service {
@@ -279,6 +281,93 @@ TEST(Orchestrator, Fig13InterruptResumeThenCachedResubmit)
     EXPECT_EQ(fsutil::readFile(cached.mergedPath), golden);
     for (const ShardTask &task : cached.queue.tasks)
         EXPECT_TRUE(task.cached);
+
+    // The acceptance contract: the journal ALONE reconstructs the
+    // interrupted-and-resumed campaign's full history, agreeing with
+    // the orchestrator's own counters summed across both legs.
+    ASSERT_EQ(resumed.journalPath, Journal::pathFor(dir + "/a"));
+    const CampaignStats history =
+        CampaignStats::fromFile(resumed.journalPath);
+    EXPECT_EQ(history.legs, 2);
+    EXPECT_EQ(history.shardCount, 8);
+    EXPECT_TRUE(history.complete);
+    EXPECT_EQ(history.spawned,
+              interrupted.spawned + resumed.spawned);
+    EXPECT_EQ(history.cacheHits,
+              interrupted.cacheHits + resumed.cacheHits);
+    EXPECT_EQ(history.retries, interrupted.retries + resumed.retries);
+    EXPECT_EQ(history.stragglersKilled,
+              interrupted.stragglersKilled + resumed.stragglersKilled);
+    // Every shard finished exactly once, by work or by cache.
+    EXPECT_EQ(history.tasksDone + history.cacheHits, 8);
+    EXPECT_EQ(history.tasksFailed, 0);
+    EXPECT_EQ(history.mergedPath, "BENCH_fig13_cpi.json");
+    EXPECT_GT(history.bytesMerged, 0);
+    // One attempt span per spawn, each on a real worker slot 1..4.
+    EXPECT_EQ(static_cast<std::int64_t>(history.spans.size()),
+              history.spawned);
+    for (const AttemptSpan &span : history.spans) {
+        EXPECT_GE(span.worker, 1);
+        EXPECT_LE(span.worker, 4);
+        EXPECT_GE(span.end, span.start);
+    }
+
+    // The cached resubmit's journal: 8 hits, zero spawns — and the
+    // final metrics snapshot agrees with both.
+    const CampaignStats rerun =
+        CampaignStats::fromFile(Journal::pathFor(dir + "/b"));
+    EXPECT_TRUE(rerun.complete);
+    EXPECT_EQ(rerun.spawned, 0);
+    EXPECT_EQ(rerun.cacheHits, 8);
+    EXPECT_EQ(rerun.cacheMisses, 0);
+    EXPECT_TRUE(rerun.spans.empty());
+    EXPECT_EQ(cached.metrics.at("service.spawns").asInt(), 0);
+    EXPECT_EQ(cached.metrics.at("service.cache.hits").asInt(), 8);
+    EXPECT_EQ(cached.metricsPath, dir + "/b/metrics.json");
+    EXPECT_TRUE(fsutil::exists(cached.metricsPath));
+}
+
+TEST(Orchestrator, LogicalClockCampaignsJournalByteIdentically)
+{
+    // Two identical single-worker campaigns under --clock logical
+    // write byte-identical journals: every `t` is the sequence number
+    // and wall-time payload fields are suppressed (docs/METRICS.md).
+    const std::string dir = test::scratchDir("logical");
+    const auto campaign = [&](const std::string &state) {
+        OrchestratorOptions options = baseOptions(state);
+        options.workers = 1;
+        options.shards = 2;
+        options.clock = JournalClock::Logical;
+        const CampaignReport report =
+            Orchestrator(options).submit(test::kSmokeSpec);
+        EXPECT_TRUE(report.complete);
+        return fsutil::readFile(report.journalPath);
+    };
+    const std::string first = campaign(dir + "/a");
+    EXPECT_EQ(first, campaign(dir + "/b"));
+    EXPECT_NE(first.find("\"clock\":\"logical\""), std::string::npos);
+    EXPECT_EQ(first.find("\"wall\""), std::string::npos);
+    EXPECT_EQ(first.find("\"pid\""), std::string::npos);
+}
+
+TEST(Orchestrator, NoJournalLeavesNoEventsFileAndMatchesGolden)
+{
+    const std::string dir = test::scratchDir("nojournal");
+    const std::string golden =
+        goldenRun(test::kSmokeSpec, dir + "/golden");
+    OrchestratorOptions options = baseOptions(dir + "/state");
+    options.shards = 2;
+    options.journal = false;
+    const CampaignReport report =
+        Orchestrator(options).submit(test::kSmokeSpec);
+    EXPECT_TRUE(report.complete);
+    EXPECT_TRUE(report.journalPath.empty());
+    EXPECT_TRUE(report.metricsPath.empty());
+    EXPECT_FALSE(
+        fsutil::exists(Journal::pathFor(dir + "/state")));
+    EXPECT_FALSE(fsutil::exists(dir + "/state/metrics.json"));
+    // Observability off never changes the campaign artifact.
+    EXPECT_EQ(fsutil::readFile(report.mergedPath), golden);
 }
 
 /**

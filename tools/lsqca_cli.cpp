@@ -29,6 +29,8 @@
  * merges the shards into the same artifact a direct run writes.
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <iostream>
@@ -44,9 +46,13 @@
 #include "api/spec.h"
 #include "common/error.h"
 #include "common/fs.h"
+#include "common/jsonl.h"
+#include "common/metrics.h"
 #include "common/subprocess.h"
 #include "common/table.h"
+#include "service/journal.h"
 #include "service/orchestrator.h"
+#include "service/report.h"
 #include "sim/collectors/bank_heatmap.h"
 #include "sim/collectors/jsonl_writer.h"
 #include "sim/collectors/stall_attribution.h"
@@ -89,6 +95,8 @@ usage(std::ostream &out, int code)
         "      --seed-check HEX  require this shard fingerprint\n"
         "      --force-exact     ignore the spec's estimator block and\n"
         "                        run every job exactly (docs/SAMPLING.md)\n"
+        "      --metrics FILE    write a sweep/pool metrics snapshot\n"
+        "                        (\"-\" = stdout; docs/METRICS.md)\n"
         "      --full            builtin specs only: drop prefixes\n"
         "  expand <spec>       validate a spec and print its job list\n"
         "      --shard i/N       print only that slice\n"
@@ -115,13 +123,27 @@ usage(std::ostream &out, int code)
         "      --straggler-factor F deadline = F x median shard wall\n"
         "      --max-attempts M  spawn budget per shard (default 3)\n"
         "      --no-seed-check   skip worker fingerprint verification\n"
-        "  status <state-dir>  show a campaign's queue\n"
+        "      --clock MODE      journal time base: monotonic|logical\n"
+        "                        (logical stamps deterministic counters;"
+        " reruns\n"
+        "                        journal byte-identically)\n"
+        "      --no-journal      do not write events.jsonl\n"
+        "  status <state-dir>  show a campaign's queue (with per-shard\n"
+        "                      age from the journal when present)\n"
         "  resume <state-dir>  continue an interrupted campaign\n"
         "      (accepts the submit runtime flags: --workers, --threads,"
         " --cache,\n"
         "       --no-cache, --out, --timeout-seconds, --straggler-"
         "factor,\n"
-        "       --max-attempts, --no-seed-check)\n";
+        "       --max-attempts, --no-seed-check, --clock, --no-journal)\n"
+        "  report <state-dir>  reconstruct a campaign's history from its\n"
+        "                      events.jsonl journal alone: wall-clock\n"
+        "                      breakdown, retry causes, cache hit rate,\n"
+        "                      escalations, worker utilization"
+        " (docs/METRICS.md)\n"
+        "      --chrome-trace FILE  also export a chrome://tracing /\n"
+        "                      Perfetto trace (one track per worker,\n"
+        "                      one span per shard attempt)\n";
     return code;
 }
 
@@ -243,40 +265,22 @@ cmdTrace(int argc, char **argv)
     // goes straight to a sibling temp file (a long trace with cell
     // events can dwarf memory) and rename() publishes it whole, so a
     // rerun stays byte-comparable and a crash never leaves a torn
-    // file at the final path.
+    // file at the final path (jsonl::Export, shared with `lsqca
+    // report --chrome-trace`).
     collectors::StallAttribution stalls;
     collectors::BankHeatmap heatmap;
     collectors::Timeline timeline(
         static_cast<std::size_t>(timelineCap));
-    const bool toStdout = eventsPath == "-";
-    if (!toStdout && eventsPath.empty())
+    if (eventsPath.empty())
         eventsPath = outDir + "/TRACE_" + spec.name + ".jsonl";
-    const std::string tmpPath = eventsPath + ".tmp";
-    std::ofstream file;
-    if (!toStdout) {
-        fsutil::makeDirs(
-            eventsPath.find('/') != std::string::npos
-                ? eventsPath.substr(0, eventsPath.rfind('/'))
-                : ".");
-        file.open(tmpPath, std::ios::binary | std::ios::trunc);
-        LSQCA_REQUIRE(file.good(),
-                      "cannot open " + tmpPath + " for writing");
-    }
-    TraceJsonl jsonl(toStdout ? static_cast<std::ostream &>(std::cout)
-                              : static_cast<std::ostream &>(file),
-                     cells);
+    jsonl::Export events(eventsPath);
+    TraceJsonl jsonl(events.stream(), cells);
     SimOptions options = job.options;
     options.observers = {&stalls, &heatmap, &timeline, &jsonl};
     const SimResult result = simulate(program, options);
-    if (!toStdout) {
-        file.close();
-        LSQCA_REQUIRE(file.good(), "failed writing " + tmpPath);
-        LSQCA_REQUIRE(std::rename(tmpPath.c_str(),
-                                  eventsPath.c_str()) == 0,
-                      "cannot publish " + eventsPath);
-    }
+    events.publish();
 
-    if (toStdout) {
+    if (events.toStdout()) {
         // Keep stdout a pure JSONL stream (pipeable); the tables are
         // available by writing events to a file instead.
         std::cerr << "trace: " << jsonl.lines() << " events ("
@@ -319,6 +323,7 @@ int
 cmdRun(int argc, char **argv)
 {
     std::string specArg;
+    std::string metricsPath;
     bool full = false;
     RunSpecOptions options;
     for (int i = 2; i < argc; ++i) {
@@ -326,6 +331,8 @@ cmdRun(int argc, char **argv)
         if (arg == "--threads")
             options.threads =
                 parseThreadCount(needValue(argc, argv, i));
+        else if (arg == "--metrics")
+            metricsPath = needValue(argc, argv, i);
         else if (arg == "--out")
             options.outDir = needValue(argc, argv, i);
         else if (arg == "--shard")
@@ -359,7 +366,17 @@ cmdRun(int argc, char **argv)
 
     const SweepSpec spec = loadSpecArg(specArg, full);
     BenchmarkRegistry registry = BenchmarkRegistry::paper();
+    metrics::Registry metrics;
+    if (!metricsPath.empty())
+        options.metrics = &metrics;
     const SpecRun run = runSpec(spec, registry, options);
+    if (!metricsPath.empty()) {
+        if (metricsPath == "-")
+            std::cout << metrics.toJson().dump() << "\n";
+        else
+            fsutil::writeFileAtomic(metricsPath,
+                                    metrics.toJson().dump(2) + "\n");
+    }
 
     TextTable table({"name", "cpi", "exec_beats", "density"});
     for (std::size_t i = 0; i < run.jobs.size(); ++i) {
@@ -549,6 +566,11 @@ readServiceFlag(const std::string &arg, int argc, char **argv, int &i,
                                          "--max-attempts", 1, 1000);
     else if (arg == "--no-seed-check")
         options.seedCheck = false;
+    else if (arg == "--clock")
+        options.clock =
+            service::journalClockFromName(needValue(argc, argv, i));
+    else if (arg == "--no-journal")
+        options.journal = false;
     else if (arg == "--test-die-after")
         // Test hook: shard first attempts die mid-shard (exit 75)
         // after N jobs, exercising the crash/retry path.
@@ -682,8 +704,35 @@ cmdStatus(int argc, char **argv)
 
     const service::QueueState queue =
         service::Orchestrator::inspect(stateDir);
+
+    // The journal (when present) supplies liveness: the age column is
+    // seconds since a running shard last produced an event — the
+    // at-a-glance straggler check. Tolerates a torn tail (the
+    // orchestrator may be appending right now, or died mid-line).
+    bool haveJournal = false;
+    service::CampaignStats stats;
+    const std::string journalPath = service::Journal::pathFor(stateDir);
+    if (fsutil::exists(journalPath)) {
+        stats = service::CampaignStats::fromFile(journalPath);
+        haveJournal = true;
+    }
+    const double nowWall =
+        std::chrono::duration<double>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    const auto ageCell = [&](const service::ShardTask &task) {
+        if (!haveJournal ||
+            task.status != service::TaskStatus::Running)
+            return std::string("-");
+        const auto wall = stats.lastWallByShard.find(task.index);
+        if (wall == stats.lastWallByShard.end())
+            return std::string("-"); // logical clock: no wall times
+        return TextTable::num(std::max(0.0, nowWall - wall->second),
+                              1);
+    };
+
     TextTable table({"shard", "mode", "status", "attempts", "cached",
-                     "wall_s", "detail"});
+                     "wall_s", "age_s", "detail"});
     for (const service::ShardTask &task : queue.tasks) {
         const std::string detail = task.lastError.empty()
                                        ? task.output
@@ -699,7 +748,8 @@ cmdStatus(int argc, char **argv)
                       mode, service::taskStatusName(task.status),
                       std::to_string(task.attempts),
                       task.cached ? "yes" : "no",
-                      TextTable::num(task.wallSeconds, 3), detail});
+                      TextTable::num(task.wallSeconds, 3),
+                      ageCell(task), detail});
     }
     std::cout << table.render("campaign " + queue.campaign + " (" +
                               queue.specPath + ")");
@@ -713,6 +763,53 @@ cmdStatus(int argc, char **argv)
               << queue.countWithStatus(service::TaskStatus::Failed)
               << " of " << queue.shardCount << " shards, "
               << queue.escalationCount() << " escalated\n";
+    if (haveJournal && stats.stragglersKilled > 0)
+        std::cout << "warning: " << stats.stragglersKilled
+                  << " straggler kill"
+                  << (stats.stragglersKilled == 1 ? "" : "s")
+                  << " recorded in " << journalPath
+                  << " (`lsqca report " << stateDir
+                  << "` for causes)\n";
+    return 0;
+}
+
+int
+cmdReport(int argc, char **argv)
+{
+    std::string stateDir;
+    std::string tracePath;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--chrome-trace")
+            tracePath = needValue(argc, argv, i);
+        else if (!arg.empty() && arg[0] == '-')
+            badArg("unknown report option " + arg);
+        else if (stateDir.empty())
+            stateDir = arg;
+        else
+            badArg("report takes exactly one state dir");
+    }
+    if (stateDir.empty())
+        badArg("report needs a campaign state dir");
+
+    const std::string journalPath = service::Journal::pathFor(stateDir);
+    LSQCA_REQUIRE(fsutil::exists(journalPath),
+                  stateDir +
+                      " holds no campaign journal (events.jsonl); the "
+                      "campaign predates journaling or ran with "
+                      "--no-journal");
+    const service::CampaignStats stats =
+        service::CampaignStats::fromFile(journalPath);
+    service::renderReport(stats, std::cout);
+    if (!tracePath.empty()) {
+        jsonl::Export trace(tracePath);
+        service::writeChromeTrace(stats, trace.stream());
+        trace.publish();
+        if (!trace.toStdout())
+            std::cerr << "chrome trace: " << stats.spans.size()
+                      << " spans -> " << tracePath
+                      << " (load in chrome://tracing or Perfetto)\n";
+    }
     return 0;
 }
 
@@ -743,6 +840,8 @@ main(int argc, char **argv)
             return cmdSubmit(argc, argv, argv[0]);
         if (command == "status")
             return cmdStatus(argc, argv);
+        if (command == "report")
+            return cmdReport(argc, argv);
         if (command == "resume")
             return cmdResume(argc, argv, argv[0]);
         std::cerr << "lsqca: unknown command \"" << command << "\"\n";
