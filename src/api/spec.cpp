@@ -7,6 +7,7 @@
 #include <iostream>
 #include <limits>
 #include <mutex>
+#include <numeric>
 #include <thread>
 #include <unordered_map>
 
@@ -526,6 +527,41 @@ shardFingerprints(const SweepSpec &spec,
     return fingerprints;
 }
 
+Json
+jobManifest(const SweepSpec &spec, const ExpandedJob &job, bool noTiming)
+{
+    Json manifest = Json::object();
+    manifest.set("schema", "lsqca-job-v1");
+    // The schema the entry's document will carry: a spec that turns
+    // breakdowns on (v2) must miss against cached v1 entries.
+    manifest.set("bench_schema", benchSchemaFor(spec));
+    manifest.set("engine_epoch", kEngineEpoch);
+    manifest.set("no_timing", noTiming);
+    manifest.set("name", job.name);
+    manifest.set("bench", job.bench);
+    manifest.set("params", job.params);
+    manifest.set("translate", toJson(job.translate));
+    manifest.set("options", toJson(job.options));
+    return manifest;
+}
+
+std::string
+jobFingerprint(const SweepSpec &spec, const ExpandedJob &job, bool noTiming)
+{
+    return contentFingerprint(jobManifest(spec, job, noTiming).dump(0));
+}
+
+std::vector<std::string>
+jobFingerprints(const SweepSpec &spec, const std::vector<ExpandedJob> &jobs,
+                bool noTiming)
+{
+    std::vector<std::string> fingerprints;
+    fingerprints.reserve(jobs.size());
+    for (const ExpandedJob &job : jobs)
+        fingerprints.push_back(jobFingerprint(spec, job, noTiming));
+    return fingerprints;
+}
+
 namespace {
 
 /**
@@ -607,10 +643,36 @@ runSpec(const SweepSpec &spec, BenchmarkRegistry &registry,
                         std::make_move_iterator(all.begin() +
                                                 static_cast<std::ptrdiff_t>(end)));
 
-    // Program resolution happens only for the slice actually run, so a
-    // shard never pays for benchmarks that belong to other machines.
-    run.jobs.reserve(run.expanded.size());
-    for (const ExpandedJob &expanded : run.expanded) {
+    // Job-cache partition: with a cache attached, every slice job is
+    // looked up by its content fingerprint *before* program
+    // resolution — hits splice their cached BENCH entry, and only the
+    // misses are synthesized and simulated below.
+    const std::size_t sliceSize = run.expanded.size();
+    std::vector<std::string> prints;
+    std::vector<Json> cachedEntries(sliceSize);
+    std::vector<std::size_t> stale;
+    if (options.jobCache != nullptr) {
+        prints.reserve(sliceSize);
+        for (const ExpandedJob &job : run.expanded)
+            prints.push_back(jobFingerprint(spec, job, options.noTiming));
+        for (std::size_t i = 0; i < sliceSize; ++i) {
+            cachedEntries[i] = options.jobCache->fetchEntry(prints[i]);
+            if (cachedEntries[i].isNull())
+                stale.push_back(i);
+        }
+    } else {
+        stale.resize(sliceSize);
+        std::iota(stale.begin(), stale.end(), std::size_t{0});
+    }
+    run.jobCacheHits = static_cast<std::int64_t>(sliceSize - stale.size());
+    run.jobsComputed = static_cast<std::int64_t>(stale.size());
+
+    // Program resolution happens only for the jobs actually run, so a
+    // shard never pays for benchmarks that belong to other machines —
+    // nor, with a job cache, for jobs whose entries it already holds.
+    run.jobs.reserve(stale.size());
+    for (const std::size_t i : stale) {
+        const ExpandedJob &expanded = run.expanded[i];
         SweepJob job;
         job.name = expanded.name;
         job.program = &registry.program(expanded.bench, expanded.params,
@@ -619,6 +681,14 @@ runSpec(const SweepSpec &spec, BenchmarkRegistry &registry,
         run.jobs.push_back(std::move(job));
     }
 
+    const auto storeEntry = [&](std::size_t slicePos, const Json &entry) {
+        if (options.jobCache == nullptr)
+            return;
+        options.jobCache->storeEntry(
+            prints[slicePos], entry,
+            jobManifest(spec, run.expanded[slicePos], options.noTiming));
+    };
+
     const SweepEngine engine({options.threads, options.metrics});
     if (options.dieAfter >= 0 &&
         static_cast<std::size_t>(options.dieAfter) < run.jobs.size()) {
@@ -626,7 +696,15 @@ runSpec(const SweepSpec &spec, BenchmarkRegistry &registry,
             run.jobs.begin(),
             run.jobs.begin() +
                 static_cast<std::ptrdiff_t>(options.dieAfter));
-        engine.run(partial);
+        const SweepReport partialReport = engine.run(partial);
+        // A dying worker still publishes the jobs it finished: the
+        // retry attempt recomputes only the tail.
+        for (std::size_t k = 0; k < partial.size(); ++k)
+            storeEntry(stale[k],
+                       benchEntry(partial[k].name, partialReport.results[k],
+                                  options.noTiming
+                                      ? 0.0
+                                      : partialReport.jobSeconds[k]));
         std::cerr << "lsqca: --die-after " << options.dieAfter
                   << ": dying mid-shard (test hook)\n";
         std::_Exit(kDieAfterExitCode);
@@ -639,8 +717,33 @@ runSpec(const SweepSpec &spec, BenchmarkRegistry &registry,
         documented.wallSeconds = 0.0;
         documented.jobSeconds.assign(run.jobs.size(), 0.0);
     }
-    run.document = benchReport(spec.name, run.jobs, documented,
-                               spec.recordBreakdown);
+    if (options.jobCache == nullptr) {
+        run.document = benchReport(spec.name, run.jobs, documented,
+                                   spec.recordBreakdown);
+    } else {
+        // Splice cached and computed entries back into slice order.
+        // The Json layer's round-trip guarantee keeps this document
+        // byte-identical to a fresh full simulation of the slice.
+        bool v2 = spec.recordBreakdown;
+        Json entries = Json::array();
+        std::size_t k = 0;
+        for (std::size_t i = 0; i < sliceSize; ++i) {
+            if (!cachedEntries[i].isNull()) {
+                v2 = v2 || cachedEntries[i].contains("breakdown");
+                entries.push(std::move(cachedEntries[i]));
+                continue;
+            }
+            v2 = v2 || !documented.results[k].breakdown.empty();
+            Json entry = benchEntry(run.jobs[k].name, documented.results[k],
+                                    documented.jobSeconds[k]);
+            storeEntry(i, entry);
+            entries.push(std::move(entry));
+            ++k;
+        }
+        run.document =
+            benchDocument(spec.name, std::move(entries), documented.threads,
+                          documented.wallSeconds, v2);
+    }
     if (!options.shard.isWhole()) {
         Json shard = Json::object();
         shard.set("index", options.shard.index);
@@ -657,10 +760,13 @@ runSpec(const SweepSpec &spec, BenchmarkRegistry &registry,
                         "of" + std::to_string(options.shard.count);
         run.jsonPath =
             writeBenchJson(fileStem, run.document, options.outDir);
-        std::cerr << spec.name << ": " << run.jobs.size() << " jobs, "
+        std::cerr << spec.name << ": " << run.expanded.size() << " jobs, "
                   << run.report.threads << " threads, "
                   << TextTable::num(run.report.wallSeconds, 3)
-                  << " s -> " << run.jsonPath << "\n";
+                  << " s -> " << run.jsonPath;
+        if (run.jobCacheHits > 0)
+            std::cerr << " (" << run.jobCacheHits << " from job cache)";
+        std::cerr << "\n";
     }
     return run;
 }

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "api/job_cache.h"
 #include "api/registry.h"
 #include "common/json.h"
 #include "sim/simulator.h"
@@ -203,6 +204,29 @@ shardFingerprints(const SweepSpec &spec,
                   std::int32_t shardCount, bool noTiming);
 
 /**
+ * Canonical content manifest of ONE job (schema `lsqca-job-v1`): the
+ * bench schema version, the engine epoch, the --no-timing flag, and
+ * the job's fully canonicalized benchmark params, translate options,
+ * and sim/estimator options. Deliberately excludes the sweep name and
+ * any shard geometry, so the same grid point hits the same job-cache
+ * entry across campaigns, shard counts, and spec edits that merely
+ * add neighbours — the incremental-recompute property shard
+ * fingerprints cannot provide. Doubles as the provenance record
+ * stored beside each cached entry.
+ */
+Json jobManifest(const SweepSpec &spec, const ExpandedJob &job,
+                 bool noTiming);
+
+/** contentFingerprint() of jobManifest().dump(0): the job-cache key. */
+std::string jobFingerprint(const SweepSpec &spec, const ExpandedJob &job,
+                           bool noTiming);
+
+/** jobFingerprint() for every job, aligned with @p jobs. */
+std::vector<std::string>
+jobFingerprints(const SweepSpec &spec, const std::vector<ExpandedJob> &jobs,
+                bool noTiming);
+
+/**
  * Expand the spec's cartesian product into the full job vector, in
  * deterministic order (first axis outermost). Validates benchmark
  * names/params against @p registry and resolves "hot" hybrid
@@ -265,20 +289,38 @@ struct RunSpecOptions
      * default) keeps the run instrumentation-free (docs/METRICS.md).
      */
     metrics::Registry *metrics = nullptr;
+    /**
+     * Optional job-granularity result cache (must outlive the call).
+     * When attached, each job in the slice is looked up by its
+     * jobFingerprint() before program resolution: hits splice the
+     * cached BENCH entry into the document (the job is neither
+     * synthesized nor simulated), misses run normally and store their
+     * entry plus provenance afterwards. Null (the default) keeps
+     * runSpec's behaviour — and output bytes — exactly as before.
+     */
+    JobCacheClient *jobCache = nullptr;
 };
 
 /** Outcome of runSpec: the slice run, its results, and the report. */
 struct SpecRun
 {
-    /** The expanded jobs actually run (post-shard slice). */
+    /** The expanded jobs of the slice (cached AND computed). */
     std::vector<ExpandedJob> expanded;
-    /** Jobs handed to the engine (programs owned by the registry). */
+    /**
+     * Jobs handed to the engine (programs owned by the registry).
+     * With a job cache attached this holds only the *computed* jobs;
+     * report.results stays aligned with it.
+     */
     std::vector<SweepJob> jobs;
     SweepReport report;
     /** The BENCH document (carries shard info when sharded). */
     Json document;
     /** Where the document landed ("" when writeJson was off). */
     std::string jsonPath;
+    /** Slice jobs served from the job cache (0 without a cache). */
+    std::int64_t jobCacheHits = 0;
+    /** Slice jobs actually simulated. */
+    std::int64_t jobsComputed = 0;
 };
 
 /**

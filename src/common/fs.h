@@ -10,6 +10,7 @@
  * All errors surface as ConfigError with the offending path.
  */
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -26,12 +27,31 @@ void makeDirs(const std::string &path);
 std::string readFile(const std::string &path);
 
 /**
- * Write @p content to @p path atomically: parent dirs are created,
- * bytes land in a sibling temp file, and rename() publishes them, so
- * concurrent readers see either the old or the new document — never a
- * torn one. @throws ConfigError.
+ * Write @p content to @p path atomically AND durably: parent dirs are
+ * created, bytes land in a sibling temp file, the file descriptor is
+ * fsync()ed, and only then does rename() publish the name (followed by
+ * a best-effort fsync of the parent directory). Concurrent readers see
+ * either the old or the new document — never a torn one — and a crash
+ * at any point cannot materialize an empty or truncated file at the
+ * final path. The temp name carries a per-call unique suffix, so
+ * concurrent writers of the same path (threads or campaigns sharing a
+ * cache directory) never clobber each other's staging file.
+ * @throws ConfigError.
  */
 void writeFileAtomic(const std::string &path, const std::string &content);
+
+/**
+ * Process-wide counters for the atomic write path, for tests that
+ * assert durability behaviour (each successful writeFileAtomic must
+ * issue at least one data fsync before its rename).
+ */
+struct AtomicWriteStats
+{
+    std::uint64_t writes = 0; ///< successful writeFileAtomic calls
+    std::uint64_t fsyncs = 0; ///< data fsyncs issued before rename
+};
+
+AtomicWriteStats atomicWriteStats();
 
 /** Byte-exact atomic copy (readFile + writeFileAtomic). */
 void copyFileAtomic(const std::string &src, const std::string &dst);

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
+#include <map>
 #include <thread>
 
 #include "api/registry.h"
@@ -206,7 +207,7 @@ Orchestrator::submit(const std::string &specPath)
     fsutil::makeDirs(options_.stateDir);
     state.save(queueFile);
     openJournal("submit", state);
-    return drive(std::move(state));
+    return drive(std::move(state), spec, jobs);
 }
 
 CampaignReport
@@ -268,11 +269,12 @@ Orchestrator::resume()
     }
     state.save(queueFile);
     openJournal("resume", state);
-    return drive(std::move(state));
+    return drive(std::move(state), spec, jobs);
 }
 
 CampaignReport
-Orchestrator::drive(QueueState state)
+Orchestrator::drive(QueueState state, const api::SweepSpec &spec,
+                    const std::vector<api::ExpandedJob> &jobs)
 {
     CampaignReport report;
     report.queuePath = queuePath(options_.stateDir);
@@ -289,6 +291,10 @@ Orchestrator::drive(QueueState state)
         metrics.counter("service.cache.hits");
     metrics::Counter &mCacheMisses =
         metrics.counter("service.cache.misses");
+    metrics::Counter &mJobHits =
+        metrics.counter("service.job_cache.hits");
+    metrics::Counter &mJobsComputed =
+        metrics.counter("service.job_cache.computed");
     metrics::Counter &mRetries = metrics.counter("service.retries");
     metrics::Counter &mStragglers =
         metrics.counter("service.stragglers_killed");
@@ -324,6 +330,8 @@ Orchestrator::drive(QueueState state)
         fields.set("retries", report.retries);
         fields.set("stragglers_killed", report.stragglersKilled);
         fields.set("escalations", report.escalations);
+        fields.set("job_cache_hits", report.jobCacheHits);
+        fields.set("jobs_computed", report.jobsComputed);
         journal_.record("done", fields);
         report.metrics = metrics.toJson();
         if (journal_.enabled()) {
@@ -355,36 +363,132 @@ Orchestrator::drive(QueueState state)
         return (task.escalated ? "shards/exact/" : "shards/") + name;
     };
 
+    // Job-granularity fingerprints (docs/SERVICE.md): computed once
+    // per drive, shared by the cache pass (splice prediction) and the
+    // reap path (job_computed events). Escalated tasks address the
+    // exact-estimator variants, lazily since most campaigns have none.
+    const std::vector<std::string> jobPrints =
+        cache.enabled() ? api::jobFingerprints(spec, jobs, state.noTiming)
+                        : std::vector<std::string>();
+    std::vector<std::string> exactJobPrints;
+    const auto exactPrints = [&]() -> const std::vector<std::string> & {
+        if (exactJobPrints.empty() && !jobs.empty()) {
+            std::vector<api::ExpandedJob> exactJobs = jobs;
+            for (api::ExpandedJob &job : exactJobs)
+                job.options.estimator = estimate::EstimatorOptions{};
+            exactJobPrints =
+                api::jobFingerprints(spec, exactJobs, state.noTiming);
+        }
+        return exactJobPrints;
+    };
+    // Global job indices the cache pass predicted each dispatched task
+    // must simulate (keyed by task position; consumed on task_done).
+    std::map<std::size_t, std::vector<std::size_t>> staleByTask;
+
     // Cache pass: shards whose content-address is already on disk are
-    // done without spawning anything. Runs again after escalation so
-    // a derived exact rerun can be served from an earlier exact
+    // done without spawning anything — and on a shard-level miss, a
+    // slice whose *jobs* are all individually cached is assembled
+    // in-process, still with zero spawns. Runs again after escalation
+    // so a derived exact rerun can be served from an earlier exact
     // campaign's cache entries.
     const auto cachePass = [&] {
-        for (ShardTask &task : state.tasks) {
+        for (std::size_t t = 0; t < state.tasks.size(); ++t) {
+            ShardTask &task = state.tasks[t];
             if (task.status != TaskStatus::Pending)
                 continue;
             const std::string name = shardFileName(
                 state.campaign, task.index, state.shardCount);
             if (task.escalated)
                 fsutil::makeDirs(exactDir);
-            if (!cache.fetch(task.fingerprint,
-                             taskDir(task) + "/" + name)) {
+            const std::string outPath = taskDir(task) + "/" + name;
+            const auto markCached = [&](const char *level,
+                                        std::int64_t splicedJobs) {
+                task.status = TaskStatus::Done;
+                task.cached = true;
+                task.wallSeconds = 0.0;
+                task.output = taskOutput(task, name);
+                task.lastError = "";
+                ++report.cacheHits;
+                mCacheHits.add();
+                Json fields = Json::object();
+                fields.set("shard", task.index);
+                if (task.escalated)
+                    fields.set("escalated", true);
+                fields.set("fingerprint", task.fingerprint);
+                if (splicedJobs > 0) {
+                    fields.set("level", level);
+                    fields.set("jobs", splicedJobs);
+                }
+                journal_.record("cache_hit", fields);
+            };
+            if (cache.fetch(task.fingerprint, outPath)) {
+                markCached("shard", 0);
+                continue;
+            }
+            if (!cache.enabled()) {
                 mCacheMisses.add();
                 continue;
             }
-            task.status = TaskStatus::Done;
-            task.cached = true;
-            task.wallSeconds = 0.0;
-            task.output = taskOutput(task, name);
-            task.lastError = "";
-            ++report.cacheHits;
-            mCacheHits.add();
-            Json fields = Json::object();
-            fields.set("shard", task.index);
-            if (task.escalated)
-                fields.set("escalated", true);
-            fields.set("fingerprint", task.fingerprint);
-            journal_.record("cache_hit", fields);
+
+            // Job-granularity pass: the shard document is gone (the
+            // partition moved, or the spec gained grid points), but
+            // most of its jobs may still be cached individually.
+            api::ShardRange range;
+            range.index = task.index;
+            range.count = state.shardCount;
+            const auto [begin, end] = range.bounds(jobs.size());
+            const std::vector<std::string> &prints =
+                task.escalated ? exactPrints() : jobPrints;
+            Json entries = Json::array();
+            bool v2 = spec.recordBreakdown;
+            std::vector<std::size_t> stale;
+            for (std::size_t j = begin; j < end; ++j) {
+                Json entry = cache.fetchJob(prints[j]);
+                if (entry.isNull()) {
+                    stale.push_back(j);
+                    continue;
+                }
+                ++report.jobCacheHits;
+                mJobHits.add();
+                Json fields = Json::object();
+                fields.set("shard", task.index);
+                if (task.escalated)
+                    fields.set("escalated", true);
+                fields.set("job", static_cast<std::int64_t>(j));
+                fields.set("fingerprint", prints[j]);
+                journal_.record("job_cache_hit", fields);
+                v2 = v2 || entry.contains("breakdown");
+                entries.push(std::move(entry));
+            }
+            task.jobsCached =
+                static_cast<std::int32_t>(end - begin - stale.size());
+            task.jobsComputed = static_cast<std::int32_t>(stale.size());
+            if (!stale.empty() || begin == end) {
+                staleByTask[t] = std::move(stale);
+                mCacheMisses.add();
+                continue;
+            }
+
+            // Every job in the slice is cached: assemble the shard
+            // document in-process through the same benchDocument the
+            // workers use (byte-identical under --no-timing), warm the
+            // shard-level fast path, and mark the task cached — the
+            // report invariant `tasks_done + cache_hits == shards`
+            // holds whichever cache level satisfied it.
+            Json doc = benchDocument(state.campaign, std::move(entries),
+                                     0, 0.0, v2);
+            if (state.shardCount > 1) {
+                Json marker = Json::object();
+                marker.set("index", task.index);
+                marker.set("count", state.shardCount);
+                marker.set("offset", static_cast<std::int64_t>(begin));
+                marker.set("total",
+                           static_cast<std::int64_t>(jobs.size()));
+                doc.set("shard", std::move(marker));
+            }
+            doc.write(outPath);
+            cache.store(task.fingerprint, outPath);
+            markCached("job", static_cast<std::int64_t>(end - begin));
         }
         state.save(report.queuePath);
     };
@@ -439,8 +543,6 @@ Orchestrator::drive(QueueState state)
     const auto escalate = [&]() -> bool {
         if (!state.allDone())
             return false;
-        const api::SweepSpec spec =
-            api::SweepSpec::load(state.specPath);
         if (!spec.estimator.sampled() ||
             spec.estimator.targetCi <= 0.0)
             return false;
@@ -472,11 +574,8 @@ Orchestrator::drive(QueueState state)
         }
         if (breached.empty())
             return false;
-        const api::BenchmarkRegistry registry =
-            api::BenchmarkRegistry::paper();
         const std::vector<std::string> exact = exactShardFingerprints(
-            spec, api::expandSpec(spec, registry), state.shardCount,
-            state.noTiming);
+            spec, jobs, state.shardCount, state.noTiming);
         for (const Breach &breach : breached) {
             ShardTask task;
             task.index = breach.shard;
@@ -527,6 +626,13 @@ Orchestrator::drive(QueueState state)
                             taskDir(task)};
             if (task.escalated)
                 command.argv.push_back("--force-exact");
+            if (cache.enabled()) {
+                // The worker splices cached entries itself and
+                // simulates only the stale jobs (runSpec's job-cache
+                // seam) — the incremental half of the layered cache.
+                command.argv.push_back("--job-cache");
+                command.argv.push_back(cache.dir());
+            }
             if (state.noTiming)
                 command.argv.push_back("--no-timing");
             if (options_.timeoutSeconds > 0.0) {
@@ -680,6 +786,26 @@ Orchestrator::drive(QueueState state)
                 cache.store(task.fingerprint, outPath);
                 mTasksDone.add();
                 mShardWall.observe(elapsed);
+                // The jobs the cache pass predicted this task had to
+                // simulate are now on record (the worker stored their
+                // entries under these fingerprints).
+                const auto staleIt = staleByTask.find(worker.task);
+                if (staleIt != staleByTask.end()) {
+                    const std::vector<std::string> &prints =
+                        task.escalated ? exactPrints() : jobPrints;
+                    for (const std::size_t j : staleIt->second) {
+                        ++report.jobsComputed;
+                        mJobsComputed.add();
+                        Json computed = Json::object();
+                        computed.set("shard", task.index);
+                        if (task.escalated)
+                            computed.set("escalated", true);
+                        computed.set("job", static_cast<std::int64_t>(j));
+                        computed.set("fingerprint", prints[j]);
+                        journal_.record("job_computed", computed);
+                    }
+                    staleByTask.erase(staleIt);
+                }
                 Json fields = Json::object();
                 fields.set("shard", task.index);
                 if (task.escalated)

@@ -14,6 +14,14 @@
  * uses, so the final `BENCH_<campaign>.json` is byte-identical to a
  * direct unsharded `lsqca run` under --no-timing.
  *
+ * The cache is layered: a whole-shard hit (api::shardFingerprint) is
+ * the fast path; on a shard miss the orchestrator partitions the
+ * slice into cached-vs-stale *jobs* (api::jobFingerprint). A slice
+ * whose jobs are all cached is assembled in-process with zero spawns;
+ * otherwise the worker is handed `--job-cache` and splices the cached
+ * entries itself, simulating only the stale jobs — so a resubmit
+ * after adding one grid point computes one job, not a campaign.
+ *
  * Straggler policy: once at least one shard has completed in this
  * process, a worker older than
  * `max(stragglerFactor * median(done walls), minStragglerSeconds)`
@@ -50,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "api/spec.h"
 #include "common/json.h"
 #include "service/journal.h"
 #include "service/queue.h"
@@ -124,6 +133,13 @@ struct CampaignReport
     std::int32_t stragglersKilled = 0;
     /** Derived exact reruns queued by CI escalation this call. */
     std::int32_t escalations = 0;
+    /**
+     * Jobs served from the job-granularity cache at queue time (both
+     * fully assembled shards and partial splices a worker completed).
+     */
+    std::int64_t jobCacheHits = 0;
+    /** Jobs this call's workers actually simulated. */
+    std::int64_t jobsComputed = 0;
     /** Merged BENCH path ("" unless complete). */
     std::string mergedPath;
     std::string queuePath;
@@ -174,7 +190,8 @@ class Orchestrator
                                      std::int32_t count);
 
   private:
-    CampaignReport drive(QueueState state);
+    CampaignReport drive(QueueState state, const api::SweepSpec &spec,
+                         const std::vector<api::ExpandedJob> &jobs);
     /** Open events.jsonl and record the @p leg event (no-op if off). */
     void openJournal(const char *leg, const QueueState &state);
 

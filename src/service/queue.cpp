@@ -82,6 +82,10 @@ QueueState::fromJson(const Json &doc)
         if (!task.mode.empty())
             estimate::estimatorModeFromName(task.mode);
         taskReader.readBool("escalated", task.escalated);
+        taskReader.readInt32("jobs_cached", task.jobsCached, 0,
+                             1 << 30);
+        taskReader.readInt32("jobs_computed", task.jobsComputed, 0,
+                             1 << 30);
         taskReader.finish();
         const auto position =
             static_cast<std::int32_t>(state.tasks.size());
@@ -131,6 +135,12 @@ QueueState::toJson() const
             taskDoc.set("mode", task.mode);
         if (task.escalated)
             taskDoc.set("escalated", true);
+        // Same omit-when-default rule: queue documents from before the
+        // job-granularity cache round-trip byte-identically.
+        if (task.jobsCached > 0)
+            taskDoc.set("jobs_cached", task.jobsCached);
+        if (task.jobsComputed > 0)
+            taskDoc.set("jobs_computed", task.jobsComputed);
         tasksDoc.push(std::move(taskDoc));
     }
     doc.set("tasks", std::move(tasksDoc));

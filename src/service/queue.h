@@ -91,6 +91,15 @@ struct ShardTask
      * `index`, appended past shard_count (docs/SAMPLING.md).
      */
     bool escalated = false;
+    /**
+     * Job-granularity cache split the last cache pass predicted for
+     * this slice: jobs served from the job cache vs jobs its worker
+     * must simulate (docs/SERVICE.md). Both 0 for shard-level hits
+     * and cache-off campaigns — and omitted from the JSON then, so
+     * older queue documents round-trip byte-identically.
+     */
+    std::int32_t jobsCached = 0;
+    std::int32_t jobsComputed = 0;
 };
 
 /** The whole campaign: identity, policy that affects bytes, tasks. */

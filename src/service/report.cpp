@@ -127,6 +127,14 @@ CampaignStats::fromEvents(const std::vector<Json> &lines)
                        std::to_string(asInt32(event.at("shard"))));
             continue;
         }
+        if (kind == "job_cache_hit") {
+            ++stats.jobCacheHits;
+            continue;
+        }
+        if (kind == "job_computed") {
+            ++stats.jobsComputed;
+            continue;
+        }
         if (kind == "spawn") {
             AttemptSpan span;
             span.worker = asInt32(event.at("worker"));
@@ -301,6 +309,20 @@ renderReport(const CampaignStats &stats, std::ostream &out)
                    1)
             << "%)";
     out << "\n";
+
+    // Job-granularity line only when the campaign ever touched the
+    // job cache, so reports over pre-jobcache journals (and shard-hit
+    // campaigns) render byte-identically to before.
+    if (stats.jobCacheHits + stats.jobsComputed > 0) {
+        out << "jobs: " << stats.jobCacheHits << " from cache, "
+            << stats.jobsComputed << " computed (hit rate "
+            << TextTable::num(
+                   100.0 * static_cast<double>(stats.jobCacheHits) /
+                       static_cast<double>(stats.jobCacheHits +
+                                           stats.jobsComputed),
+                   1)
+            << "%)\n";
+    }
 
     if (!stats.retriesByCause.empty()) {
         TextTable causes({"cause", "count"});

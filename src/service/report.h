@@ -85,6 +85,10 @@ struct CampaignStats
     std::int64_t cacheHits = 0;
     /** Distinct tasks that needed at least one spawn (cache misses). */
     std::int64_t cacheMisses = 0;
+    /** Jobs spliced from the job-granularity cache (job_cache_hit). */
+    std::int64_t jobCacheHits = 0;
+    /** Jobs workers actually simulated (job_computed). */
+    std::int64_t jobsComputed = 0;
     std::int64_t retries = 0;
     std::map<std::string, std::int64_t> retriesByCause;
     std::int64_t stragglersKilled = 0;

@@ -154,38 +154,51 @@ benchReport(const std::string &benchName,
     bool v2 = breakdownSchema;
     for (const SimResult &r : report.results)
         v2 = v2 || !r.breakdown.empty();
+    Json entries = Json::array();
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        entries.push(benchEntry(jobs[i].name, report.results[i],
+                                report.jobSeconds[i]));
+    return benchDocument(benchName, std::move(entries), report.threads,
+                         report.wallSeconds, v2);
+}
+
+Json
+benchEntry(const std::string &name, const SimResult &r, double jobSeconds)
+{
+    Json metrics = Json::object();
+    metrics.set("cpi", r.cpi);
+    metrics.set("exec_beats", r.execBeats);
+    metrics.set("memory_beats", r.memoryBeats);
+    metrics.set("magic_stall_beats", r.magicStallBeats);
+    metrics.set("density", r.density());
+    metrics.set("wall_seconds", jobSeconds);
+    // Sampled-estimator statistics, only on entries that really
+    // are estimates: a sampled run that degenerated to full
+    // coverage (period=1, short program) stays byte-identical to
+    // exact output. docs/SAMPLING.md documents the keys.
+    if (r.estimated) {
+        metrics.set("cpi_ci95", r.cpiCi95);
+        metrics.set("sampling_error", r.samplingError);
+        metrics.set("sampled_units", r.sampledUnits);
+    }
+    Json entry = Json::object();
+    entry.set("name", name);
+    entry.set("metrics", std::move(metrics));
+    if (!r.breakdown.empty())
+        entry.set("breakdown", api::toJson(r.breakdown));
+    return entry;
+}
+
+Json
+benchDocument(const std::string &benchName, Json entries,
+              std::int32_t threads, double wallSeconds, bool v2)
+{
     Json doc = Json::object();
     doc.set("bench", benchName);
     doc.set("schema", v2 ? "lsqca-bench-v2" : "lsqca-bench-v1");
-    doc.set("threads", report.threads);
-    doc.set("jobs", static_cast<std::int64_t>(jobs.size()));
-    doc.set("wall_seconds", report.wallSeconds);
-    Json entries = Json::array();
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-        const SimResult &r = report.results[i];
-        Json metrics = Json::object();
-        metrics.set("cpi", r.cpi);
-        metrics.set("exec_beats", r.execBeats);
-        metrics.set("memory_beats", r.memoryBeats);
-        metrics.set("magic_stall_beats", r.magicStallBeats);
-        metrics.set("density", r.density());
-        metrics.set("wall_seconds", report.jobSeconds[i]);
-        // Sampled-estimator statistics, only on entries that really
-        // are estimates: a sampled run that degenerated to full
-        // coverage (period=1, short program) stays byte-identical to
-        // exact output. docs/SAMPLING.md documents the keys.
-        if (r.estimated) {
-            metrics.set("cpi_ci95", r.cpiCi95);
-            metrics.set("sampling_error", r.samplingError);
-            metrics.set("sampled_units", r.sampledUnits);
-        }
-        Json entry = Json::object();
-        entry.set("name", jobs[i].name);
-        entry.set("metrics", std::move(metrics));
-        if (!r.breakdown.empty())
-            entry.set("breakdown", api::toJson(r.breakdown));
-        entries.push(std::move(entry));
-    }
+    doc.set("threads", threads);
+    doc.set("jobs", static_cast<std::int64_t>(entries.size()));
+    doc.set("wall_seconds", wallSeconds);
     doc.set("entries", std::move(entries));
     return doc;
 }

@@ -99,6 +99,26 @@ Json benchReport(const std::string &benchName,
                  bool breakdownSchema = false);
 
 /**
+ * Build ONE BENCH entry — `{name, metrics{...}, [breakdown]}` — for a
+ * simulated job. This is the unit the job-granularity result cache
+ * stores and splices: benchReport() is defined as benchDocument() over
+ * benchEntry() per job, so a document assembled from cached entries is
+ * byte-identical to one built from a fresh simulation (the Json layer
+ * guarantees dump(parse(dump(x))) == dump(x)).
+ */
+Json benchEntry(const std::string &name, const SimResult &result,
+                double jobSeconds);
+
+/**
+ * Assemble the standard BENCH document from pre-built entries (fresh
+ * from benchEntry() or spliced back out of the job cache). @p v2
+ * stamps the lsqca-bench-v2 schema; callers sniff cached entries for
+ * a "breakdown" key the same way benchReport() sniffs SimResults.
+ */
+Json benchDocument(const std::string &benchName, Json entries,
+                   std::int32_t threads, double wallSeconds, bool v2);
+
+/**
  * Write @p doc to `<outDir>/BENCH_<benchName>.json` and return the
  * path. @p outDir defaults to "bench/out" under the current directory.
  */

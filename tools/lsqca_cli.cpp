@@ -50,6 +50,7 @@
 #include "common/metrics.h"
 #include "common/subprocess.h"
 #include "common/table.h"
+#include "service/cache.h"
 #include "service/journal.h"
 #include "service/orchestrator.h"
 #include "service/report.h"
@@ -95,6 +96,9 @@ usage(std::ostream &out, int code)
         "      --seed-check HEX  require this shard fingerprint\n"
         "      --force-exact     ignore the spec's estimator block and\n"
         "                        run every job exactly (docs/SAMPLING.md)\n"
+        "      --job-cache DIR   splice already-computed jobs from (and\n"
+        "                        publish new ones to) a job-granularity\n"
+        "                        result cache (docs/SERVICE.md)\n"
         "      --metrics FILE    write a sweep/pool metrics snapshot\n"
         "                        (\"-\" = stdout; docs/METRICS.md)\n"
         "      --full            builtin specs only: drop prefixes\n"
@@ -324,6 +328,7 @@ cmdRun(int argc, char **argv)
 {
     std::string specArg;
     std::string metricsPath;
+    std::string jobCacheDir;
     bool full = false;
     RunSpecOptions options;
     for (int i = 2; i < argc; ++i) {
@@ -347,6 +352,8 @@ cmdRun(int argc, char **argv)
                 parseFingerprintArg(needValue(argc, argv, i));
         else if (arg == "--force-exact")
             options.forceExact = true;
+        else if (arg == "--job-cache")
+            jobCacheDir = needValue(argc, argv, i);
         else if (arg == "--die-after")
             // Test-only crash hook (see docs/SERVICE.md): simulate N
             // jobs, then exit kDieAfterExitCode without output.
@@ -369,6 +376,12 @@ cmdRun(int argc, char **argv)
     metrics::Registry metrics;
     if (!metricsPath.empty())
         options.metrics = &metrics;
+    // An empty dir constructs a disabled cache, so the adapter is only
+    // wired in when the flag was given.
+    service::ResultCache jobCacheStore(jobCacheDir);
+    service::JobCacheAdapter jobCacheAdapter(jobCacheStore);
+    if (jobCacheStore.enabled())
+        options.jobCache = &jobCacheAdapter;
     const SpecRun run = runSpec(spec, registry, options);
     if (!metricsPath.empty()) {
         if (metricsPath == "-")
@@ -599,6 +612,11 @@ reportCampaign(const service::CampaignReport &report,
               << " spawned, " << report.retries << " retries, "
               << report.stragglersKilled << " stragglers killed, "
               << report.escalations << " escalated)";
+    // Job-granularity cache split, shown only when the job layer took
+    // part (keeps pre-job-cache campaign output byte-identical).
+    if (report.jobCacheHits + report.jobsComputed > 0)
+        std::cerr << " [" << report.jobCacheHits << " job hits, "
+                  << report.jobsComputed << " jobs computed]";
     if (report.complete) {
         std::cerr << " -> " << report.mergedPath << "\n";
         return 0;
@@ -763,6 +781,26 @@ cmdStatus(int argc, char **argv)
               << queue.countWithStatus(service::TaskStatus::Failed)
               << " of " << queue.shardCount << " shards, "
               << queue.escalationCount() << " escalated\n";
+    // Job-granularity split the last cache pass recorded per task.
+    // All-zero (cache off, or pure shard-level traffic) prints
+    // nothing, so pre-job-cache campaigns render unchanged.
+    std::int64_t jobsCached = 0;
+    std::int64_t jobsComputed = 0;
+    for (const service::ShardTask &task : queue.tasks) {
+        jobsCached += task.jobsCached;
+        jobsComputed += task.jobsComputed;
+    }
+    if (jobsCached + jobsComputed > 0) {
+        const double total =
+            static_cast<double>(jobsCached + jobsComputed);
+        std::cout << "job cache: " << jobsCached << " spliced, "
+                  << jobsComputed << " computed (hit rate "
+                  << TextTable::num(
+                         100.0 * static_cast<double>(jobsCached) /
+                             total,
+                         1)
+                  << "%)\n";
+    }
     if (haveJournal && stats.stragglersKilled > 0)
         std::cout << "warning: " << stats.stragglersKilled
                   << " straggler kill"
