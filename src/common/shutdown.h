@@ -1,0 +1,32 @@
+#ifndef LSQCA_COMMON_SHUTDOWN_H
+#define LSQCA_COMMON_SHUTDOWN_H
+
+/**
+ * @file
+ * Cooperative SIGINT/SIGTERM handling for the long-running entry
+ * points (`lsqca submit|resume|serve`). The handler only raises an
+ * async-signal-safe flag; the orchestrator/daemon drive loops poll it
+ * between dispatches and run the *orderly* path themselves — reap the
+ * children, save every queue, append a journal `shutdown` event —
+ * instead of dying mid-write and leaning on torn-tail repair.
+ */
+
+namespace lsqca::shutdown {
+
+/**
+ * Install SIGINT+SIGTERM handlers that record the signal in a
+ * `volatile sig_atomic_t` flag (and ignore SIGPIPE, so a vanished
+ * socket peer surfaces as EPIPE instead of killing the process).
+ * Idempotent; no-op on repeat calls.
+ */
+void install();
+
+/** The pending shutdown signal (SIGINT/SIGTERM), or 0 when none. */
+int pending();
+
+/** Reset the flag (tests; a daemon restarting its accept loop). */
+void clear();
+
+} // namespace lsqca::shutdown
+
+#endif // LSQCA_COMMON_SHUTDOWN_H

@@ -1,0 +1,253 @@
+#include "common/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.h"
+
+namespace lsqca::net {
+namespace {
+
+sockaddr_un
+unixAddress(const std::string &path)
+{
+    sockaddr_un address = {};
+    address.sun_family = AF_UNIX;
+    LSQCA_REQUIRE(path.size() < sizeof(address.sun_path),
+                  "socket path too long (" + std::to_string(path.size()) +
+                      " bytes; sockaddr_un holds " +
+                      std::to_string(sizeof(address.sun_path) - 1) +
+                      "): " + path);
+    std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+    return address;
+}
+
+void
+setCloseOnExec(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFD);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path, int backlog)
+{
+    const sockaddr_un address = unixAddress(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    LSQCA_REQUIRE(fd >= 0, std::string("socket() failed: ") +
+                               std::strerror(errno));
+    setCloseOnExec(fd);
+    setNonBlocking(fd);
+    // A leftover socket file from a dead daemon would make bind()
+    // fail with EADDRINUSE; the caller's root lockfile is what rules
+    // out a *live* owner, so unlinking here is safe.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&address),
+               sizeof(address)) != 0) {
+        const std::string reason = std::strerror(errno);
+        closeFd(fd);
+        throw ConfigError("cannot bind " + path + ": " + reason);
+    }
+    if (::listen(fd, backlog) != 0) {
+        const std::string reason = std::strerror(errno);
+        closeFd(fd);
+        throw ConfigError("cannot listen on " + path + ": " + reason);
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path)
+{
+    const sockaddr_un address = unixAddress(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    LSQCA_REQUIRE(fd >= 0, std::string("socket() failed: ") +
+                               std::strerror(errno));
+    setCloseOnExec(fd);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&address),
+                  sizeof(address)) != 0) {
+        const std::string reason = std::strerror(errno);
+        closeFd(fd);
+        throw ConfigError("cannot connect to daemon at " + path + ": " +
+                          reason + " (is `lsqca serve` running?)");
+    }
+    return fd;
+}
+
+int
+acceptClient(int listenFd)
+{
+    for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd >= 0) {
+            setCloseOnExec(fd);
+            return fd;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK ||
+            errno == ECONNABORTED)
+            return -1;
+        throw ConfigError(std::string("accept() failed: ") +
+                          std::strerror(errno));
+    }
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void
+closeFd(int fd)
+{
+    if (fd < 0)
+        return;
+    int rc;
+    do {
+        rc = ::close(fd);
+    } while (rc != 0 && errno == EINTR);
+}
+
+bool
+sendLine(int fd, const std::string &line)
+{
+    std::string frame = line;
+    frame.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t n =
+            ::send(fd, frame.data() + sent, frame.size() - sent,
+                   MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // Daemon-side descriptors are non-blocking; give the
+                // peer a bounded window to drain rather than tearing
+                // the frame, then drop it as unresponsive.
+                pollfd pfd = {};
+                pfd.fd = fd;
+                pfd.events = POLLOUT;
+                if (::poll(&pfd, 1, 1000) > 0)
+                    continue;
+                return false;
+            }
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+waitReadable(int fd, double timeoutSeconds)
+{
+    if (fd < 0)
+        return false;
+    pollfd pfd = {};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int timeoutMs =
+        timeoutSeconds < 0.0
+            ? -1
+            : static_cast<int>(timeoutSeconds * 1000.0 + 0.5);
+    for (;;) {
+        const int rc = ::poll(&pfd, 1, timeoutMs);
+        if (rc > 0)
+            return (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+        if (rc == 0)
+            return false;
+        if (errno != EINTR)
+            return false;
+    }
+}
+
+LineReader::Status
+LineReader::extract(std::string &line)
+{
+    const std::size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+        line = buffer_.substr(0, pos);
+        buffer_.erase(0, pos + 1);
+        return Status::Line;
+    }
+    if (overflow_ || buffer_.size() >= maxLine_) {
+        overflow_ = true;
+        return Status::Overflow;
+    }
+    if (eof_)
+        return Status::Eof;
+    return Status::NoData;
+}
+
+bool
+LineReader::fill(bool blocking)
+{
+    char chunk[4096];
+    bool got = false;
+    for (;;) {
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n > 0) {
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+            got = true;
+            if (blocking)
+                return true;
+            if (buffer_.size() >= maxLine_ &&
+                buffer_.find('\n') == std::string::npos) {
+                overflow_ = true;
+                return true;
+            }
+            continue;
+        }
+        if (n == 0) {
+            eof_ = true;
+            return got;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return got;
+        // Treat hard errors (ECONNRESET) like a closed peer.
+        eof_ = true;
+        return got;
+    }
+}
+
+LineReader::Status
+LineReader::poll(std::string &line)
+{
+    Status status = extract(line);
+    if (status != Status::NoData)
+        return status;
+    fill(/*blocking=*/false);
+    return extract(line);
+}
+
+LineReader::Status
+LineReader::read(std::string &line)
+{
+    for (;;) {
+        const Status status = extract(line);
+        if (status != Status::NoData)
+            return status;
+        // A blocking descriptor parks in read(2); a non-blocking one
+        // (EAGAIN with no progress) parks in poll(2) instead.
+        if (!fill(/*blocking=*/true) && !eof_)
+            waitReadable(fd_, -1.0);
+    }
+}
+
+} // namespace lsqca::net

@@ -1,0 +1,117 @@
+#ifndef LSQCA_COMMON_SOCKET_H
+#define LSQCA_COMMON_SOCKET_H
+
+/**
+ * @file
+ * Minimal Unix-domain stream sockets for the sweep daemon: listen on
+ * a filesystem path, accept clients without blocking, exchange
+ * newline-delimited frames. In the spirit of common/subprocess.h,
+ * only what the daemon protocol needs — no address families beyond
+ * AF_UNIX, no timeouts beyond poll(2) readiness — so `lsqca serve`
+ * stays a single-threaded poll loop that is easy to reason about.
+ *
+ * Frame discipline: one protocol message is one `\n`-terminated line
+ * (docs/DAEMON.md). `LineReader` buffers partial reads per client and
+ * enforces `kMaxLineBytes` so one hostile or broken peer cannot grow
+ * a frame without bound; `sendLine` writes with MSG_NOSIGNAL so a
+ * vanished peer surfaces as `false`, never as SIGPIPE.
+ */
+
+#include <cstddef>
+#include <string>
+
+namespace lsqca::net {
+
+/** Longest accepted protocol line, terminator included (1 MiB). */
+inline constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+/**
+ * Create, bind, and listen on a Unix-domain stream socket at @p path
+ * (an existing socket file is unlinked first — the daemon's root
+ * lockfile guarantees no live owner). The returned descriptor is
+ * non-blocking and close-on-exec. @throws ConfigError on a path too
+ * long for sockaddr_un or any socket/bind/listen failure.
+ */
+int listenUnix(const std::string &path, int backlog = 16);
+
+/**
+ * Connect to the daemon at @p path. The returned descriptor is
+ * blocking (clients wait for their response) and close-on-exec.
+ * @throws ConfigError when the socket cannot be reached.
+ */
+int connectUnix(const std::string &path);
+
+/**
+ * Accept one pending client from a non-blocking listen descriptor:
+ * the new descriptor (close-on-exec, still blocking), or -1 when no
+ * connection is pending. @throws ConfigError on real accept errors.
+ */
+int acceptClient(int listenFd);
+
+/** O_NONBLOCK (daemon-side client descriptors). */
+void setNonBlocking(int fd);
+
+/** close(2), EINTR-safe, tolerant of fd < 0. */
+void closeFd(int fd);
+
+/**
+ * Write @p line plus a trailing newline, whole, with MSG_NOSIGNAL.
+ * Returns false when the peer is gone (EPIPE/ECONNRESET) or any
+ * write fails — the caller drops the connection.
+ */
+bool sendLine(int fd, const std::string &line);
+
+/** Block until @p fd is readable or @p timeoutSeconds passes. */
+bool waitReadable(int fd, double timeoutSeconds);
+
+/**
+ * Per-connection line assembler over a stream descriptor. Partial
+ * frames accumulate in an internal buffer across reads; a frame that
+ * exceeds @p maxLine bytes trips the sticky Overflow state (the
+ * protocol's oversized-line guard).
+ */
+class LineReader
+{
+  public:
+    enum class Status
+    {
+        /** A complete line was extracted (terminator stripped). */
+        Line,
+        /** No complete line buffered and the descriptor has no data. */
+        NoData,
+        /** Peer closed; no complete line remains. */
+        Eof,
+        /** A frame outgrew maxLine — protocol violation, drop peer. */
+        Overflow,
+    };
+
+    explicit LineReader(int fd, std::size_t maxLine = kMaxLineBytes)
+        : fd_(fd), maxLine_(maxLine)
+    {
+    }
+
+    /**
+     * Non-blocking pump for the daemon loop: drain whatever the
+     * descriptor has (requires O_NONBLOCK), then extract the next
+     * buffered line. Call until it stops returning Line.
+     */
+    Status poll(std::string &line);
+
+    /** Blocking read for clients: wait for a full line or EOF. */
+    Status read(std::string &line);
+
+  private:
+    Status extract(std::string &line);
+    /** One read(2) sweep into the buffer; false when nothing came. */
+    bool fill(bool blocking);
+
+    int fd_ = -1;
+    std::size_t maxLine_ = kMaxLineBytes;
+    std::string buffer_;
+    bool eof_ = false;
+    bool overflow_ = false;
+};
+
+} // namespace lsqca::net
+
+#endif // LSQCA_COMMON_SOCKET_H

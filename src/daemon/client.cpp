@@ -1,0 +1,40 @@
+#include "daemon/client.h"
+
+#include "common/error.h"
+
+namespace lsqca::daemon {
+
+Client::Client(const std::string &socketPath)
+    : fd_(net::connectUnix(socketPath)), reader_(fd_)
+{
+}
+
+Client::~Client()
+{
+    net::closeFd(fd_);
+}
+
+Json
+Client::call(const Json &request)
+{
+    LSQCA_REQUIRE(net::sendLine(fd_, request.dump(0)),
+                  "daemon connection lost while sending");
+    std::string line;
+    const net::LineReader::Status status = reader_.read(line);
+    LSQCA_REQUIRE(status == net::LineReader::Status::Line,
+                  "daemon hung up without responding");
+    try {
+        return Json::parse(line);
+    } catch (const std::exception &error) {
+        throw ConfigError(std::string("unparseable daemon response: ") +
+                          error.what());
+    }
+}
+
+bool
+Client::readLine(std::string &line)
+{
+    return reader_.read(line) == net::LineReader::Status::Line;
+}
+
+} // namespace lsqca::daemon

@@ -1,0 +1,52 @@
+#ifndef LSQCA_DAEMON_CLIENT_H
+#define LSQCA_DAEMON_CLIENT_H
+
+/**
+ * @file
+ * Client half of the daemon protocol: connect to a serving
+ * `lsqca serve` socket, exchange one request frame for one response
+ * frame, and (after a `watch`) read the streamed journal lines. Used
+ * by the CLI's `--daemon` paths and the daemon test suite.
+ */
+
+#include <string>
+
+#include "common/json.h"
+#include "common/socket.h"
+
+namespace lsqca::daemon {
+
+class Client
+{
+  public:
+    /** Connect to the daemon at @p socketPath. @throws ConfigError. */
+    explicit Client(const std::string &socketPath);
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Send one request frame and block for its response frame.
+     * @throws ConfigError when the daemon hangs up or responds with
+     * something that is not JSON. An `"ok": false` response is
+     * returned, not thrown — the caller owns the error surface.
+     */
+    Json call(const Json &request);
+
+    /**
+     * Read one streamed line (after a watch call). Returns false on
+     * end of stream.
+     */
+    bool readLine(std::string &line);
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+    net::LineReader reader_;
+};
+
+} // namespace lsqca::daemon
+
+#endif // LSQCA_DAEMON_CLIENT_H

@@ -1,0 +1,184 @@
+#ifndef LSQCA_DAEMON_DAEMON_H
+#define LSQCA_DAEMON_DAEMON_H
+
+/**
+ * @file
+ * The multi-tenant sweep daemon behind `lsqca serve <root>`: a
+ * single-threaded poll(2) loop that listens on `<root>/daemon.sock`
+ * (protocol: daemon/protocol.h), admits any number of concurrent
+ * campaigns, and schedules their shard tasks across ONE global
+ * worker-process pool. Each admitted campaign keeps exactly the
+ * state dir a one-shot orchestrator would have used —
+ * `<root>/campaigns/<name>/` with its own `queue.json`,
+ * `events.jsonl`, and `metrics.json` — driven by the same
+ * service/Scheduler engine, so `lsqca status|report|resume` work on
+ * it unchanged and the merged artifact stays byte-identical to a
+ * direct unsharded run under --no-timing.
+ *
+ * Scheduling is weighted round-robin across active campaigns: a
+ * free worker slot goes to the next campaign in admission order with
+ * pending work, each visit dispatching up to `weight` shards (weight
+ * 1 everywhere = strict alternation). All campaigns share one
+ * shard/job result cache under `<root>/cache`, so tenant B's sweep
+ * reuses every job tenant A already computed.
+ *
+ * Root layout:
+ *
+ *     <root>/daemon.sock           control socket
+ *     <root>/lock                  flock: one daemon per root
+ *     <root>/daemon.events.jsonl   daemon journal (admit/dispatch/
+ *                                  campaign_done/shutdown — the
+ *                                  fairness record)
+ *     <root>/cache/                shared result cache
+ *     <root>/campaigns/<name>/     per-campaign state dirs
+ *
+ * Shutdown: SIGTERM/SIGINT (or a `drain` once the queues empty)
+ * kills and reaps every live worker, leaves every queue.json
+ * resumable (killed attempts stay marked running), appends a
+ * `shutdown` event to every active campaign journal and to the
+ * daemon journal, and unlinks the socket. Restarting the daemon and
+ * re-submitting the same specs resumes each campaign with no
+ * completed work lost.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/socket.h"
+#include "daemon/protocol.h"
+#include "service/journal.h"
+#include "service/lock.h"
+#include "service/scheduler.h"
+
+namespace lsqca::daemon {
+
+struct DaemonOptions
+{
+    /** Daemon root directory (required; created as needed). */
+    std::string root;
+    /** Control socket ("" = <root>/daemon.sock). */
+    std::string socketPath;
+    /** Shared result cache ("" = <root>/cache). */
+    std::string cacheDir;
+    /** Global worker-process pool shared by every campaign. */
+    std::int32_t workers = 2;
+    /** Worker binary (required; the CLI passes itself). */
+    std::string workerExe;
+    /** `--threads` per worker. */
+    std::int32_t threadsPerWorker = 1;
+    /** Per-attempt hard wall limit for workers. */
+    double timeoutSeconds = 0.0;
+    double stragglerFactor = 4.0;
+    double minStragglerSeconds = 10.0;
+    /** Default spawn budget per shard for admitted campaigns. */
+    std::int32_t maxAttempts = 0;
+    /** Poll cadence while workers run. */
+    double pollSeconds = 0.02;
+    /** Campaign + daemon journal clock. */
+    service::JournalClock clock = service::JournalClock::Monotonic;
+    /**
+     * Install SIGINT/SIGTERM handlers (common/shutdown.h). The CLI
+     * sets this; embedded daemons (tests, the micro kernel) leave it
+     * off and stop via requestStop().
+     */
+    bool handleSignals = true;
+};
+
+/** One admitted campaign and its driving state. */
+struct Tenant
+{
+    std::string name;
+    std::string stateDir;
+    std::int32_t weight = 1;
+    /** Dispatches left in the current round-robin visit. */
+    std::int32_t credits = 0;
+    service::StateLock lock;
+    std::unique_ptr<service::Scheduler> scheduler;
+};
+
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonOptions options);
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /**
+     * Serve until a shutdown signal, requestStop(), or a completed
+     * drain. Returns the process exit code (0 on orderly shutdown).
+     * @throws ConfigError when the root is already served by a live
+     * daemon or the socket cannot be created.
+     */
+    int run();
+
+    /** Ask a run() on another thread to shut down (thread-safe). */
+    void requestStop() { stopRequested_.store(true); }
+
+    const std::string &socketPath() const { return socketPath_; }
+
+    static std::string defaultSocketPath(const std::string &root);
+    /** `<root>/campaigns/<name>` — a tenant's state dir. */
+    static std::string campaignDir(const std::string &root,
+                                   const std::string &name);
+
+  private:
+    /** One connected control client. */
+    struct Peer
+    {
+        int fd = -1;
+        net::LineReader reader;
+        /** Streaming a campaign journal (no further requests). */
+        bool watching = false;
+        std::string watchCampaign;
+        std::string watchPath;
+        std::size_t watchOffset = 0;
+        bool closed = false;
+
+        explicit Peer(int descriptor)
+            : fd(descriptor), reader(descriptor)
+        {
+        }
+    };
+
+    void pollSockets(double timeoutSeconds);
+    void handleLine(Peer &peer, const std::string &line);
+
+    service::SchedulerOptions schedulerOptions(
+        const std::vector<std::string> &extraWorkerArgs) const;
+    Tenant *findTenant(const std::string &name);
+    std::size_t runningTotal() const;
+    void dispatchSlots();
+    void finishDrained();
+    void pumpWatchers();
+    void shutdownAll(int signal);
+
+    Json opPing();
+    Json opSubmit(const Json &body);
+    Json opStatus(const Json &body);
+    Json opList();
+    Json opWatch(Peer &peer, const Json &body);
+    Json opCancel(const Json &body);
+    Json opDrain();
+
+    DaemonOptions options_;
+    std::string socketPath_;
+    std::string cacheDir_;
+    service::StateLock rootLock_;
+    service::Journal journal_;
+    int listenFd_ = -1;
+    std::vector<std::unique_ptr<Peer>> peers_;
+    std::vector<std::unique_ptr<Tenant>> tenants_;
+    /** Round-robin cursor into tenants_ (admission order). */
+    std::size_t cursor_ = 0;
+    bool draining_ = false;
+    std::atomic<bool> stopRequested_{false};
+};
+
+} // namespace lsqca::daemon
+
+#endif // LSQCA_DAEMON_DAEMON_H

@@ -1,0 +1,72 @@
+#include "daemon/protocol.h"
+
+#include "common/error.h"
+
+namespace lsqca::daemon {
+namespace {
+
+constexpr const char *kOps[] = {"ping", "submit", "status", "list",
+                                "watch", "cancel", "drain"};
+
+bool
+knownOp(const std::string &op)
+{
+    for (const char *candidate : kOps)
+        if (op == candidate)
+            return true;
+    return false;
+}
+
+} // namespace
+
+Request
+parseRequest(const std::string &line)
+{
+    Json body;
+    try {
+        body = Json::parse(line);
+    } catch (const std::exception &error) {
+        throw ConfigError(std::string("malformed frame (not JSON): ") +
+                          error.what());
+    }
+    LSQCA_REQUIRE(body.isObject(),
+                  "malformed frame: expected a JSON object");
+    const Json *op = body.find("op");
+    LSQCA_REQUIRE(op != nullptr && op->isString(),
+                  "malformed frame: missing string \"op\"");
+    LSQCA_REQUIRE(knownOp(op->asString()),
+                  "unknown op \"" + op->asString() +
+                      "\" (lsqca-daemon-v1 speaks ping|submit|status|"
+                      "list|watch|cancel|drain)");
+    const Json *proto = body.find("proto");
+    if (proto != nullptr)
+        LSQCA_REQUIRE(proto->isString() &&
+                          proto->asString() == kProtocol,
+                      "protocol mismatch: this daemon speaks " +
+                          std::string(kProtocol));
+    Request request;
+    request.op = op->asString();
+    request.body = std::move(body);
+    return request;
+}
+
+Json
+okResponse()
+{
+    Json response = Json::object();
+    response.set("ok", true);
+    response.set("proto", kProtocol);
+    return response;
+}
+
+Json
+errorResponse(const std::string &reason)
+{
+    Json response = Json::object();
+    response.set("ok", false);
+    response.set("proto", kProtocol);
+    response.set("error", reason);
+    return response;
+}
+
+} // namespace lsqca::daemon

@@ -1,0 +1,60 @@
+#ifndef LSQCA_DAEMON_PROTOCOL_H
+#define LSQCA_DAEMON_PROTOCOL_H
+
+/**
+ * @file
+ * The `lsqca-daemon-v1` control protocol (docs/DAEMON.md): one JSON
+ * object per newline-terminated frame, one response frame per
+ * request, over the daemon's Unix-domain socket. Seven operations:
+ *
+ *     ping | submit | status | list | watch | cancel | drain
+ *
+ * Every response carries `"ok"`; failures carry `"error"` with a
+ * human-readable reason. `watch` is the one streaming exception: its
+ * `ok` response is followed by raw `lsqca-events-v1` journal lines,
+ * verbatim, until the campaign's journal is fully forwarded and the
+ * campaign is no longer active — the stream IS the campaign journal,
+ * so anything that validates events.jsonl validates a watch.
+ *
+ * Framing errors are protocol-level, not transport-level: a frame
+ * that is not a JSON object, lacks `op`, or names an unknown op gets
+ * an error response and the connection stays usable; only an
+ * oversized frame (net::kMaxLineBytes) costs the peer its
+ * connection, since the line boundary itself is lost.
+ */
+
+#include <string>
+
+#include "common/json.h"
+
+namespace lsqca::daemon {
+
+/** Protocol identifier: requests may assert it, responses carry it. */
+inline constexpr const char *kProtocol = "lsqca-daemon-v1";
+
+/** A parsed, op-validated request frame. */
+struct Request
+{
+    /** One of ping|submit|status|list|watch|cancel|drain. */
+    std::string op;
+    /** The full frame (per-op fields are read from here). */
+    Json body;
+};
+
+/**
+ * Parse and validate one request line: must be a JSON object with a
+ * string `op` naming a known operation; a `proto` member, when
+ * present, must equal kProtocol. @throws ConfigError otherwise (the
+ * daemon turns that into an error response).
+ */
+Request parseRequest(const std::string &line);
+
+/** `{"ok":true,"proto":...}` — extend with op-specific fields. */
+Json okResponse();
+
+/** `{"ok":false,"proto":...,"error":reason}`. */
+Json errorResponse(const std::string &reason);
+
+} // namespace lsqca::daemon
+
+#endif // LSQCA_DAEMON_PROTOCOL_H

@@ -1,109 +1,12 @@
 #include "service/orchestrator.h"
 
-#include <algorithm>
 #include <chrono>
-#include <cstdio>
-#include <filesystem>
-#include <iostream>
-#include <map>
 #include <thread>
 
-#include "api/registry.h"
-#include "api/spec.h"
 #include "common/error.h"
-#include "common/fs.h"
-#include "common/metrics.h"
-#include "common/subprocess.h"
-#include "common/table.h"
-#include "estimate/options.h"
-#include "service/cache.h"
-#include "sweep/sweep.h"
+#include "common/shutdown.h"
 
 namespace lsqca::service {
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double
-secondsSince(Clock::time_point t0)
-{
-    return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-/** Upper-biased median of a non-empty sample (heuristic use only). */
-double
-medianOf(std::vector<double> values)
-{
-    std::sort(values.begin(), values.end());
-    const std::size_t mid = values.size() / 2;
-    if (values.size() % 2 == 1)
-        return values[mid];
-    return 0.5 * (values[mid - 1] + values[mid]);
-}
-
-/** A live worker attempt. */
-struct RunningWorker
-{
-    std::size_t task = 0;
-    proc::Pid pid = 0;
-    Clock::time_point start;
-    std::string logPath;
-    /** Worker slot (1..workers) — the journal/Chrome-trace track. */
-    std::int32_t slot = 0;
-};
-
-/** Lowest slot >= 1 not held by a live worker. */
-std::int32_t
-freeSlot(const std::vector<RunningWorker> &running)
-{
-    for (std::int32_t slot = 1;; ++slot) {
-        bool taken = false;
-        for (const RunningWorker &worker : running)
-            if (worker.slot == slot)
-                taken = true;
-        if (!taken)
-            return slot;
-    }
-}
-
-/**
- * Full-precision rendering for values that are re-parsed by workers
- * (a policy knob must survive the argv round trip exactly; "%.3f"
- * would truncate sub-millisecond timeouts to an invalid "0.000").
- */
-std::string
-formatArgDouble(double value)
-{
-    char buffer[64];
-    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-    return buffer;
-}
-
-/**
- * Fingerprints of the campaign's shards rerun with the exact
- * estimator: what a `--force-exact` worker expands to, and therefore
- * the content address of a derived escalation task (the same key an
- * exact campaign over the same spec would use, so escalations share
- * its cache entries).
- */
-std::vector<std::string>
-exactShardFingerprints(const api::SweepSpec &spec,
-                       std::vector<api::ExpandedJob> jobs,
-                       std::int32_t shardCount, bool noTiming)
-{
-    for (api::ExpandedJob &job : jobs)
-        job.options.estimator = estimate::EstimatorOptions{};
-    return api::shardFingerprints(spec, jobs, shardCount, noTiming);
-}
-
-} // namespace
-
-double
-stragglerDeadline(double medianSeconds, double factor,
-                  double minSeconds)
-{
-    return std::max(factor * medianSeconds, minSeconds);
-}
 
 Orchestrator::Orchestrator(OrchestratorOptions options)
     : options_(std::move(options))
@@ -123,19 +26,14 @@ Orchestrator::Orchestrator(OrchestratorOptions options)
 std::string
 Orchestrator::queuePath(const std::string &stateDir)
 {
-    return stateDir + "/queue.json";
+    return queuePathFor(stateDir);
 }
 
 std::string
 Orchestrator::shardFileName(const std::string &campaign,
                             std::int32_t index, std::int32_t count)
 {
-    // Mirrors runSpec's output naming: a whole-sweep shard (0/1)
-    // carries no marker and no suffix.
-    if (count <= 1)
-        return "BENCH_" + campaign + ".json";
-    return "BENCH_" + campaign + ".shard" + std::to_string(index) +
-           "of" + std::to_string(count) + ".json";
+    return service::shardFileName(campaign, index, count);
 }
 
 QueueState
@@ -144,738 +42,104 @@ Orchestrator::inspect(const std::string &stateDir)
     return QueueState::load(queuePath(stateDir));
 }
 
-void
-Orchestrator::openJournal(const char *leg, const QueueState &state)
+SchedulerOptions
+Orchestrator::schedulerOptions() const
 {
-    if (!options_.journal) {
-        journal_ = Journal();
-        return;
-    }
-    journal_ =
-        Journal::open(Journal::pathFor(options_.stateDir), options_.clock);
-    Json fields = Json::object();
-    fields.set("campaign", state.campaign);
-    fields.set("spec", state.specPath);
-    fields.set("shards", state.shardCount);
-    fields.set("workers", options_.workers);
-    fields.set("max_attempts", state.maxAttempts);
-    fields.set("no_timing", state.noTiming);
-    journal_.record(leg, fields);
+    SchedulerOptions sched;
+    sched.stateDir = options_.stateDir;
+    sched.cacheDir = !options_.useCache
+                         ? std::string()
+                         : (options_.cacheDir.empty()
+                                ? options_.stateDir + "/cache"
+                                : options_.cacheDir);
+    sched.outDir = options_.outDir;
+    sched.threadsPerWorker = options_.threadsPerWorker;
+    sched.workers = options_.workers;
+    sched.timeoutSeconds = options_.timeoutSeconds;
+    sched.stragglerFactor = options_.stragglerFactor;
+    sched.minStragglerSeconds = options_.minStragglerSeconds;
+    sched.seedCheck = options_.seedCheck;
+    sched.workerExe = options_.workerExe;
+    sched.journal = options_.journal;
+    sched.clock = options_.clock;
+    sched.extraWorkerArgs = options_.extraWorkerArgs;
+    sched.firstAttemptExtraArgs = options_.firstAttemptExtraArgs;
+    return sched;
 }
 
 CampaignReport
 Orchestrator::submit(const std::string &specPath)
 {
-    const std::string queueFile = queuePath(options_.stateDir);
-    LSQCA_REQUIRE(!fsutil::exists(queueFile),
-                  options_.stateDir +
-                      " already holds a campaign; continue it with "
-                      "`lsqca resume` or remove the directory");
-
-    // Absolute so `lsqca resume` works from any working directory.
-    const std::string absSpec =
-        std::filesystem::absolute(specPath).lexically_normal().string();
-    const api::SweepSpec spec = api::SweepSpec::load(absSpec);
-    const api::BenchmarkRegistry registry =
-        api::BenchmarkRegistry::paper();
-    const std::vector<api::ExpandedJob> jobs =
-        api::expandSpec(spec, registry);
-
-    std::int32_t shards = options_.shards;
-    if (shards <= 0)
-        shards = static_cast<std::int32_t>(
-            std::min<std::int64_t>(static_cast<std::int64_t>(jobs.size()),
-                                   std::max(4 * options_.workers, 1)));
-
-    QueueState state;
-    state.campaign = spec.name;
-    state.specPath = absSpec;
-    state.shardCount = shards;
-    state.noTiming = options_.noTiming;
-    state.maxAttempts =
-        options_.maxAttempts > 0 ? options_.maxAttempts : 3;
-    const std::vector<std::string> fingerprints =
-        api::shardFingerprints(spec, jobs, shards, state.noTiming);
-    for (std::int32_t i = 0; i < shards; ++i) {
-        ShardTask task;
-        task.index = i;
-        task.fingerprint = fingerprints[static_cast<std::size_t>(i)];
-        if (spec.estimator.sampled())
-            task.mode = estimate::estimatorModeName(spec.estimator.mode);
-        state.tasks.push_back(std::move(task));
-    }
-    fsutil::makeDirs(options_.stateDir);
-    state.save(queueFile);
-    openJournal("submit", state);
-    return drive(std::move(state), spec, jobs);
+    // The lock covers the whole drive: admission races (two submits
+    // creating queue.json) and drive races (a resume on a live
+    // campaign) both fail fast at acquire instead of corrupting
+    // state. Released by ~Orchestrator / the next acquire.
+    lock_ = StateLock::acquire(options_.stateDir);
+    return drive(admitCampaign(specPath, options_.stateDir,
+                               options_.shards, options_.workers,
+                               options_.noTiming, options_.maxAttempts));
 }
 
 CampaignReport
 Orchestrator::resume()
 {
-    const std::string queueFile = queuePath(options_.stateDir);
-    LSQCA_REQUIRE(fsutil::exists(queueFile),
-                  options_.stateDir +
-                      " holds no campaign (no queue.json); start one "
-                      "with `lsqca submit`");
-    QueueState state = QueueState::load(queueFile);
-
-    // Re-derive the campaign's fingerprints from the spec file as it
-    // exists *now*: if it (or the registry) changed since the queue
-    // was created, completed shards and queued ones would disagree on
-    // content, so refuse to continue rather than poison the merge.
-    // (submit() skips this — it computed the fingerprints from the
-    // same file milliseconds ago.)
-    const api::SweepSpec spec = api::SweepSpec::load(state.specPath);
-    LSQCA_REQUIRE(spec.name == state.campaign,
-                  state.specPath + ": spec name \"" + spec.name +
-                      "\" does not match campaign \"" + state.campaign +
-                      "\"");
-    const api::BenchmarkRegistry registry =
-        api::BenchmarkRegistry::paper();
-    const std::vector<api::ExpandedJob> jobs =
-        api::expandSpec(spec, registry);
-    const std::vector<std::string> fingerprints = api::shardFingerprints(
-        spec, jobs, state.shardCount, state.noTiming);
-    // Derived escalation tasks were queued with the *exact* slice's
-    // fingerprint (their workers run --force-exact).
-    std::vector<std::string> exactFingerprints;
-    if (state.escalationCount() > 0)
-        exactFingerprints = exactShardFingerprints(
-            spec, jobs, state.shardCount, state.noTiming);
-    for (std::size_t i = 0; i < state.tasks.size(); ++i) {
-        const ShardTask &task = state.tasks[i];
-        const std::string &expanded =
-            task.escalated
-                ? exactFingerprints[static_cast<std::size_t>(task.index)]
-                : fingerprints[static_cast<std::size_t>(task.index)];
-        LSQCA_REQUIRE(
-            expanded == task.fingerprint,
-            "shard " + std::to_string(task.index) + " of campaign \"" +
-                state.campaign + "\" now expands to fingerprint " +
-                expanded + " but was queued as " + task.fingerprint +
-                " — the spec file changed under the campaign; submit "
-                "it as a new campaign instead");
-    }
-
-    state.resetRunning();
-    if (options_.maxAttempts > state.maxAttempts) {
-        // A raised cap re-opens shards that exhausted the old one.
-        state.maxAttempts = options_.maxAttempts;
-        for (ShardTask &task : state.tasks)
-            if (task.status == TaskStatus::Failed &&
-                task.attempts < state.maxAttempts)
-                task.status = TaskStatus::Pending;
-    }
-    state.save(queueFile);
-    openJournal("resume", state);
-    return drive(std::move(state), spec, jobs);
+    lock_ = StateLock::acquire(options_.stateDir);
+    return drive(reopenCampaign(options_.stateDir, options_.maxAttempts));
 }
 
 CampaignReport
-Orchestrator::drive(QueueState state, const api::SweepSpec &spec,
-                    const std::vector<api::ExpandedJob> &jobs)
+Orchestrator::drive(CampaignAdmission admission)
 {
-    CampaignReport report;
-    report.queuePath = queuePath(options_.stateDir);
-    if (journal_.enabled())
-        report.journalPath = journal_.path();
+    Scheduler scheduler(schedulerOptions(), std::move(admission));
+    scheduler.cachePass();
 
-    // One registry per drive: the same counters the CampaignReport
-    // carries, plus distributions the report's integers flatten. The
-    // snapshot lands in <state>/metrics.json at the end of the drive;
-    // tests cross-check it against the journal-derived numbers.
-    metrics::Registry metrics;
-    metrics::Counter &mSpawns = metrics.counter("service.spawns");
-    metrics::Counter &mCacheHits =
-        metrics.counter("service.cache.hits");
-    metrics::Counter &mCacheMisses =
-        metrics.counter("service.cache.misses");
-    metrics::Counter &mJobHits =
-        metrics.counter("service.job_cache.hits");
-    metrics::Counter &mJobsComputed =
-        metrics.counter("service.job_cache.computed");
-    metrics::Counter &mRetries = metrics.counter("service.retries");
-    metrics::Counter &mStragglers =
-        metrics.counter("service.stragglers_killed");
-    metrics::Counter &mEscalations =
-        metrics.counter("service.escalations");
-    metrics::Counter &mTasksDone = metrics.counter("service.tasks.done");
-    metrics::Counter &mTasksFailed =
-        metrics.counter("service.tasks.failed");
-    metrics::Counter &mBytesMerged =
-        metrics.counter("service.bytes_merged");
-    metrics::Histogram &mShardWall =
-        metrics.histogram("service.shard_wall_seconds");
-    metrics.gauge("service.workers")
-        .set(static_cast<double>(options_.workers));
-
-    // Journal fields must not depend on where the campaign directory
-    // happens to live (byte-stable --clock logical reruns).
-    const auto relativePath = [&](const std::string &path) {
-        const std::string prefix = options_.stateDir + "/";
-        if (path.rfind(prefix, 0) == 0)
-            return path.substr(prefix.size());
-        return path;
-    };
-
-    // Every exit from drive(): the terminal `done` event (the journal
-    // cross-check anchor) and the metrics snapshot.
-    const auto finish = [&]() -> CampaignReport {
-        Json fields = Json::object();
-        fields.set("complete", report.complete);
-        fields.set("interrupted", report.interrupted);
-        fields.set("spawned", report.spawned);
-        fields.set("cache_hits", report.cacheHits);
-        fields.set("retries", report.retries);
-        fields.set("stragglers_killed", report.stragglersKilled);
-        fields.set("escalations", report.escalations);
-        fields.set("job_cache_hits", report.jobCacheHits);
-        fields.set("jobs_computed", report.jobsComputed);
-        journal_.record("done", fields);
-        report.metrics = metrics.toJson();
-        if (journal_.enabled()) {
-            report.metricsPath = options_.stateDir + "/metrics.json";
-            fsutil::writeFileAtomic(report.metricsPath,
-                                    report.metrics.dump(2) + "\n");
-        }
-        return report;
-    };
-
-    const std::string shardsDir = options_.stateDir + "/shards";
-    // Escalated exact reruns land in a subdirectory: their worker
-    // writes the same BENCH_<campaign>.shard<i>of<N>.json name the
-    // sampled shard already used.
-    const std::string exactDir = shardsDir + "/exact";
-    const std::string logsDir = options_.stateDir + "/logs";
-    fsutil::makeDirs(shardsDir);
-    const ResultCache cache(
-        !options_.useCache
-            ? std::string()
-            : (options_.cacheDir.empty() ? options_.stateDir + "/cache"
-                                         : options_.cacheDir));
-
-    const auto taskDir = [&](const ShardTask &task) -> const std::string & {
-        return task.escalated ? exactDir : shardsDir;
-    };
-    const auto taskOutput = [&](const ShardTask &task,
-                                const std::string &name) {
-        return (task.escalated ? "shards/exact/" : "shards/") + name;
-    };
-
-    // Job-granularity fingerprints (docs/SERVICE.md): computed once
-    // per drive, shared by the cache pass (splice prediction) and the
-    // reap path (job_computed events). Escalated tasks address the
-    // exact-estimator variants, lazily since most campaigns have none.
-    const std::vector<std::string> jobPrints =
-        cache.enabled() ? api::jobFingerprints(spec, jobs, state.noTiming)
-                        : std::vector<std::string>();
-    std::vector<std::string> exactJobPrints;
-    const auto exactPrints = [&]() -> const std::vector<std::string> & {
-        if (exactJobPrints.empty() && !jobs.empty()) {
-            std::vector<api::ExpandedJob> exactJobs = jobs;
-            for (api::ExpandedJob &job : exactJobs)
-                job.options.estimator = estimate::EstimatorOptions{};
-            exactJobPrints =
-                api::jobFingerprints(spec, exactJobs, state.noTiming);
-        }
-        return exactJobPrints;
-    };
-    // Global job indices the cache pass predicted each dispatched task
-    // must simulate (keyed by task position; consumed on task_done).
-    std::map<std::size_t, std::vector<std::size_t>> staleByTask;
-
-    // Cache pass: shards whose content-address is already on disk are
-    // done without spawning anything — and on a shard-level miss, a
-    // slice whose *jobs* are all individually cached is assembled
-    // in-process, still with zero spawns. Runs again after escalation
-    // so a derived exact rerun can be served from an earlier exact
-    // campaign's cache entries.
-    const auto cachePass = [&] {
-        for (std::size_t t = 0; t < state.tasks.size(); ++t) {
-            ShardTask &task = state.tasks[t];
-            if (task.status != TaskStatus::Pending)
-                continue;
-            const std::string name = shardFileName(
-                state.campaign, task.index, state.shardCount);
-            if (task.escalated)
-                fsutil::makeDirs(exactDir);
-            const std::string outPath = taskDir(task) + "/" + name;
-            const auto markCached = [&](const char *level,
-                                        std::int64_t splicedJobs) {
-                task.status = TaskStatus::Done;
-                task.cached = true;
-                task.wallSeconds = 0.0;
-                task.output = taskOutput(task, name);
-                task.lastError = "";
-                ++report.cacheHits;
-                mCacheHits.add();
-                Json fields = Json::object();
-                fields.set("shard", task.index);
-                if (task.escalated)
-                    fields.set("escalated", true);
-                fields.set("fingerprint", task.fingerprint);
-                if (splicedJobs > 0) {
-                    fields.set("level", level);
-                    fields.set("jobs", splicedJobs);
-                }
-                journal_.record("cache_hit", fields);
-            };
-            if (cache.fetch(task.fingerprint, outPath)) {
-                markCached("shard", 0);
-                continue;
-            }
-            if (!cache.enabled()) {
-                mCacheMisses.add();
-                continue;
-            }
-
-            // Job-granularity pass: the shard document is gone (the
-            // partition moved, or the spec gained grid points), but
-            // most of its jobs may still be cached individually.
-            api::ShardRange range;
-            range.index = task.index;
-            range.count = state.shardCount;
-            const auto [begin, end] = range.bounds(jobs.size());
-            const std::vector<std::string> &prints =
-                task.escalated ? exactPrints() : jobPrints;
-            Json entries = Json::array();
-            bool v2 = spec.recordBreakdown;
-            std::vector<std::size_t> stale;
-            for (std::size_t j = begin; j < end; ++j) {
-                Json entry = cache.fetchJob(prints[j]);
-                if (entry.isNull()) {
-                    stale.push_back(j);
-                    continue;
-                }
-                ++report.jobCacheHits;
-                mJobHits.add();
-                Json fields = Json::object();
-                fields.set("shard", task.index);
-                if (task.escalated)
-                    fields.set("escalated", true);
-                fields.set("job", static_cast<std::int64_t>(j));
-                fields.set("fingerprint", prints[j]);
-                journal_.record("job_cache_hit", fields);
-                v2 = v2 || entry.contains("breakdown");
-                entries.push(std::move(entry));
-            }
-            task.jobsCached =
-                static_cast<std::int32_t>(end - begin - stale.size());
-            task.jobsComputed = static_cast<std::int32_t>(stale.size());
-            if (!stale.empty() || begin == end) {
-                staleByTask[t] = std::move(stale);
-                mCacheMisses.add();
-                continue;
-            }
-
-            // Every job in the slice is cached: assemble the shard
-            // document in-process through the same benchDocument the
-            // workers use (byte-identical under --no-timing), warm the
-            // shard-level fast path, and mark the task cached — the
-            // report invariant `tasks_done + cache_hits == shards`
-            // holds whichever cache level satisfied it.
-            Json doc = benchDocument(state.campaign, std::move(entries),
-                                     0, 0.0, v2);
-            if (state.shardCount > 1) {
-                Json marker = Json::object();
-                marker.set("index", task.index);
-                marker.set("count", state.shardCount);
-                marker.set("offset", static_cast<std::int64_t>(begin));
-                marker.set("total",
-                           static_cast<std::int64_t>(jobs.size()));
-                doc.set("shard", std::move(marker));
-            }
-            doc.write(outPath);
-            cache.store(task.fingerprint, outPath);
-            markCached("job", static_cast<std::int64_t>(end - begin));
-        }
-        state.save(report.queuePath);
-    };
-    cachePass();
-
-    std::vector<RunningWorker> running;
-    std::vector<double> doneWalls;
-
-    // Crash/timeout/straggler funnel: back to pending while the
-    // attempt budget lasts, failed once it is exhausted. @p cause is
-    // the journal/metrics taxonomy: crash | timeout | straggler |
-    // no_output.
-    const auto fail = [&](ShardTask &task, const std::string &reason,
-                          const std::string &cause) {
-        task.lastError = reason;
-        Json fields = Json::object();
-        fields.set("shard", task.index);
-        if (task.attempts >= state.maxAttempts) {
-            task.status = TaskStatus::Failed;
-            mTasksFailed.add();
-            fields.set("attempts", task.attempts);
-            fields.set("cause", cause);
-            // The free-text reason embeds wall times and log paths;
-            // the logical clock keeps only the deterministic cause
-            // (queue.json still holds the full string).
-            if (!journal_.logical())
-                fields.set("detail", reason);
-            journal_.record("task_failed", fields);
-        } else {
-            task.status = TaskStatus::Pending;
-            ++report.retries;
-            mRetries.add();
-            metrics.counter("service.retries." + cause).add();
-            fields.set("attempt", task.attempts);
-            fields.set("cause", cause);
-            if (!journal_.logical())
-                fields.set("detail", reason);
-            journal_.record("retry", fields);
-        }
-    };
-
-    const auto reap = [&](const RunningWorker &worker) {
-        proc::terminate(worker.pid);
-        proc::wait(worker.pid);
-    };
-
-    // CI escalation (docs/SAMPLING.md): with the queue drained, each
-    // sampled base shard's BENCH output is inspected; any entry whose
-    // sampling_error breaches the spec's target_ci queues a derived
-    // exact rerun of the slice. Returns true when new tasks were
-    // appended, restarting the drain.
-    const auto escalate = [&]() -> bool {
-        if (!state.allDone())
-            return false;
-        if (!spec.estimator.sampled() ||
-            spec.estimator.targetCi <= 0.0)
-            return false;
-        struct Breach
-        {
-            std::int32_t shard;
-            std::string entry;
-            double ci;
-        };
-        std::vector<Breach> breached;
-        for (std::int32_t i = 0; i < state.shardCount; ++i) {
-            const ShardTask &task =
-                state.tasks[static_cast<std::size_t>(i)];
-            if (state.escalationFor(i) != nullptr)
-                continue;
-            const Json doc =
-                Json::load(options_.stateDir + "/" + task.output);
-            for (const Json &entry : doc.at("entries").items()) {
-                const Json *error =
-                    entry.at("metrics").find("sampling_error");
-                if (error != nullptr &&
-                    error->asDouble() > spec.estimator.targetCi) {
-                    breached.push_back({i,
-                                        entry.at("name").asString(),
-                                        error->asDouble()});
-                    break;
-                }
-            }
-        }
-        if (breached.empty())
-            return false;
-        const std::vector<std::string> exact = exactShardFingerprints(
-            spec, jobs, state.shardCount, state.noTiming);
-        for (const Breach &breach : breached) {
-            ShardTask task;
-            task.index = breach.shard;
-            task.fingerprint =
-                exact[static_cast<std::size_t>(breach.shard)];
-            task.escalated = true;
-            state.tasks.push_back(std::move(task));
-            ++report.escalations;
-            mEscalations.add();
-            Json fields = Json::object();
-            fields.set("shard", breach.shard);
-            fields.set("entry", breach.entry);
-            fields.set("ci", breach.ci);
-            fields.set("target_ci", spec.estimator.targetCi);
-            journal_.record("escalation", fields);
-        }
-        state.save(report.queuePath);
-        return true;
+    const auto interruptedBySignal = [&]() -> int {
+        return options_.handleShutdown ? shutdown::pending() : 0;
     };
 
     for (;;) {
-        // Dispatch pending shards into free worker slots, recording
-        // the attempt in queue.json *before* the spawn so a dead
-        // orchestrator can never under-count attempts.
-        for (std::size_t t = 0;
-             t < state.tasks.size() &&
-             running.size() < static_cast<std::size_t>(options_.workers);
-             ++t) {
-            ShardTask &task = state.tasks[t];
-            if (task.status != TaskStatus::Pending)
-                continue;
-            ++task.attempts;
-            task.status = TaskStatus::Running;
-            state.save(report.queuePath);
-
-            if (task.escalated)
-                fsutil::makeDirs(exactDir);
-            proc::Command command;
-            command.argv = {options_.workerExe,
-                            "run",
-                            state.specPath,
-                            "--shard",
-                            std::to_string(task.index) + "/" +
-                                std::to_string(state.shardCount),
-                            "--threads",
-                            std::to_string(options_.threadsPerWorker),
-                            "--out",
-                            taskDir(task)};
-            if (task.escalated)
-                command.argv.push_back("--force-exact");
-            if (cache.enabled()) {
-                // The worker splices cached entries itself and
-                // simulates only the stale jobs (runSpec's job-cache
-                // seam) — the incremental half of the layered cache.
-                command.argv.push_back("--job-cache");
-                command.argv.push_back(cache.dir());
-            }
-            if (state.noTiming)
-                command.argv.push_back("--no-timing");
-            if (options_.timeoutSeconds > 0.0) {
-                command.argv.push_back("--timeout-seconds");
-                command.argv.push_back(
-                    formatArgDouble(options_.timeoutSeconds));
-            }
-            if (options_.seedCheck) {
-                command.argv.push_back("--seed-check");
-                command.argv.push_back(task.fingerprint);
-            }
-            command.argv.insert(command.argv.end(),
-                                options_.extraWorkerArgs.begin(),
-                                options_.extraWorkerArgs.end());
-            if (task.attempts == 1)
-                command.argv.insert(
-                    command.argv.end(),
-                    options_.firstAttemptExtraArgs.begin(),
-                    options_.firstAttemptExtraArgs.end());
-            command.logPath = logsDir + "/shard" +
-                              std::to_string(task.index) + ".attempt" +
-                              std::to_string(task.attempts) + ".log";
-
-            RunningWorker worker;
-            worker.task = t;
-            worker.slot = freeSlot(running);
-            worker.pid = proc::spawn(command);
-            worker.start = Clock::now();
-            worker.logPath = command.logPath;
-            ++report.spawned;
-            mSpawns.add();
-            {
-                Json fields = Json::object();
-                fields.set("shard", task.index);
-                fields.set("attempt", task.attempts);
-                fields.set("worker", worker.slot);
-                if (task.escalated)
-                    fields.set("escalated", true);
-                if (!journal_.logical())
-                    fields.set("pid", worker.pid);
-                journal_.record("spawn", fields);
-            }
-            running.push_back(std::move(worker));
-
+        // Dispatch pending shards into free worker slots.
+        while (scheduler.runningCount() <
+               static_cast<std::size_t>(options_.workers)) {
+            if (scheduler.dispatchOne() < 0)
+                break;
             if (options_.stopAfterDispatches > 0 &&
-                report.spawned >= options_.stopAfterDispatches) {
-                // Simulated orchestrator death: the queue keeps the
-                // tasks marked running; resume() re-queues them. The
-                // live attempts get no exit events — exactly what a
-                // real dead orchestrator leaves behind — so the
-                // report's open-span closure path is what tests see.
-                for (const RunningWorker &live : running)
-                    reap(live);
-                report.interrupted = true;
-                report.queue = state;
-                return finish();
+                scheduler.progress().spawned >=
+                    options_.stopAfterDispatches) {
+                scheduler.killWorkers();
+                return scheduler.finish(true);
             }
         }
 
-        if (running.empty()) {
-            if (!escalate())
+        if (const int signal = interruptedBySignal()) {
+            // Orderly Ctrl-C/SIGTERM: no orphaned workers, the queue
+            // on disk keeps the killed attempts marked running (a
+            // resume leg re-queues them), and the journal records
+            // why this leg ended instead of leaning on torn-tail
+            // repair.
+            scheduler.killWorkers();
+            scheduler.recordShutdown(signal);
+            CampaignReport report = scheduler.finish(true);
+            report.shutdownSignal = signal;
+            return report;
+        }
+
+        if (scheduler.runningCount() == 0) {
+            if (!scheduler.maybeEscalate())
                 break;
             // New derived tasks: give the cache a chance first, then
             // fall through to dispatch whatever it missed.
-            cachePass();
+            scheduler.cachePass();
             continue;
         }
 
-        // Reap finished workers; kill stragglers.
-        const double deadline =
-            doneWalls.empty()
-                ? 0.0
-                : stragglerDeadline(medianOf(doneWalls),
-                                    options_.stragglerFactor,
-                                    options_.minStragglerSeconds);
-        for (std::size_t w = 0; w < running.size();) {
-            const RunningWorker &worker = running[w];
-            ShardTask &task = state.tasks[worker.task];
-            proc::Status status = proc::poll(worker.pid);
-            const double elapsed = secondsSince(worker.start);
-
-            // The deadline doubles with every attempt, and a shard's
-            // final attempt is immune: killing the only copy of a
-            // legitimately slow shard into a failed campaign would be
-            // worse than waiting (the hard --timeout-seconds still
-            // bounds a truly wedged worker).
-            const double taskDeadline =
-                deadline * static_cast<double>(1 << std::min(
-                                                   task.attempts - 1,
-                                                   16));
-            if (status.running && deadline > 0.0 &&
-                task.attempts < state.maxAttempts &&
-                elapsed > taskDeadline) {
-                reap(worker);
-                ++report.stragglersKilled;
-                mStragglers.add();
-                {
-                    Json fields = Json::object();
-                    fields.set("shard", task.index);
-                    fields.set("attempt", task.attempts);
-                    fields.set("worker", worker.slot);
-                    fields.set("killed", true);
-                    if (!journal_.logical())
-                        fields.set("wall_s", elapsed);
-                    journal_.record("exit", fields);
-                }
-                fail(task,
-                     "straggler killed after " +
-                         TextTable::num(elapsed, 3) + " s (deadline " +
-                         TextTable::num(taskDeadline, 3) +
-                         " s, attempt " + std::to_string(task.attempts) +
-                         ", base = " +
-                         TextTable::num(options_.stragglerFactor, 3) +
-                         " x median done wall)",
-                     "straggler");
-                state.save(report.queuePath);
-                running.erase(running.begin() +
-                              static_cast<std::ptrdiff_t>(w));
-                continue;
-            }
-            if (status.running) {
-                ++w;
-                continue;
-            }
-
-            const std::string name = shardFileName(
-                state.campaign, task.index, state.shardCount);
-            const std::string outPath = taskDir(task) + "/" + name;
-            {
-                Json fields = Json::object();
-                fields.set("shard", task.index);
-                fields.set("attempt", task.attempts);
-                fields.set("worker", worker.slot);
-                if (status.ok())
-                    fields.set("ok", true);
-                else if (status.exited)
-                    fields.set("code", status.exitCode);
-                else
-                    fields.set("signal", status.signal);
-                if (!journal_.logical())
-                    fields.set("wall_s", elapsed);
-                journal_.record("exit", fields);
-            }
-            if (status.ok() && fsutil::exists(outPath)) {
-                task.status = TaskStatus::Done;
-                task.cached = false;
-                task.wallSeconds = elapsed;
-                task.output = taskOutput(task, name);
-                task.lastError = "";
-                doneWalls.push_back(elapsed);
-                cache.store(task.fingerprint, outPath);
-                mTasksDone.add();
-                mShardWall.observe(elapsed);
-                // The jobs the cache pass predicted this task had to
-                // simulate are now on record (the worker stored their
-                // entries under these fingerprints).
-                const auto staleIt = staleByTask.find(worker.task);
-                if (staleIt != staleByTask.end()) {
-                    const std::vector<std::string> &prints =
-                        task.escalated ? exactPrints() : jobPrints;
-                    for (const std::size_t j : staleIt->second) {
-                        ++report.jobsComputed;
-                        mJobsComputed.add();
-                        Json computed = Json::object();
-                        computed.set("shard", task.index);
-                        if (task.escalated)
-                            computed.set("escalated", true);
-                        computed.set("job", static_cast<std::int64_t>(j));
-                        computed.set("fingerprint", prints[j]);
-                        journal_.record("job_computed", computed);
-                    }
-                    staleByTask.erase(staleIt);
-                }
-                Json fields = Json::object();
-                fields.set("shard", task.index);
-                if (task.escalated)
-                    fields.set("escalated", true);
-                fields.set("output", task.output);
-                journal_.record("task_done", fields);
-            } else if (status.ok()) {
-                fail(task, "worker exited 0 without writing " + name,
-                     "no_output");
-            } else {
-                std::string reason = "worker " + status.describe();
-                std::string cause = "crash";
-                if (status.exited &&
-                    status.exitCode == api::kTimeoutExitCode) {
-                    reason += " (timed out)";
-                    cause = "timeout";
-                } else if (status.exited &&
-                           status.exitCode == api::kDieAfterExitCode) {
-                    reason += " (died mid-shard)";
-                }
-                fail(task, reason + "; see " + worker.logPath, cause);
-            }
-            state.save(report.queuePath);
-            running.erase(running.begin() +
-                          static_cast<std::ptrdiff_t>(w));
-        }
-
-        if (!running.empty())
+        scheduler.pollWorkers();
+        if (scheduler.runningCount() > 0)
             std::this_thread::sleep_for(
                 std::chrono::duration<double>(options_.pollSeconds));
     }
 
-    report.queue = state;
-    if (!state.allDone())
-        return finish();
-
-    // Merge in shard order through the same path `lsqca merge` uses;
-    // under --no-timing the artifact is byte-identical to a direct
-    // unsharded run (pinned by tests/service and the CI gate).
-    std::vector<Json> docs;
-    std::vector<std::string> labels;
-    docs.reserve(static_cast<std::size_t>(state.shardCount));
-    for (std::int32_t i = 0; i < state.shardCount; ++i) {
-        // An escalated shard merges its exact rerun; the sampled
-        // document stays on disk beside it for inspection.
-        const ShardTask *chosen = state.escalationFor(i);
-        if (chosen == nullptr)
-            chosen = &state.tasks[static_cast<std::size_t>(i)];
-        const std::string path =
-            options_.stateDir + "/" + chosen->output;
-        docs.push_back(Json::load(path));
-        labels.push_back(path);
-    }
-    const Json merged = api::mergeBenchReports(docs, labels);
-    report.mergedPath = writeBenchJson(
-        state.campaign, merged,
-        options_.outDir.empty() ? options_.stateDir : options_.outDir);
-    report.complete = true;
-    {
-        Json fields = Json::object();
-        fields.set("path", relativePath(report.mergedPath));
-        fields.set("shards", state.shardCount);
-        const std::int64_t bytes = static_cast<std::int64_t>(
-            std::filesystem::file_size(report.mergedPath));
-        fields.set("bytes", bytes);
-        mBytesMerged.add(bytes);
-        journal_.record("merge", fields);
-    }
-    report.queue = state;
-    return finish();
+    return scheduler.finish(false);
 }
 
 } // namespace lsqca::service

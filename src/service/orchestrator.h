@@ -3,8 +3,8 @@
 
 /**
  * @file
- * The sweep orchestration service: turns one `SweepSpec` into a
- * campaign of shard tasks, dispatches them as child `lsqca run
+ * The one-shot sweep orchestration service: turns one `SweepSpec`
+ * into a campaign of shard tasks, dispatches them as child `lsqca run
  * --shard i/N` worker processes (up to `workers` at a time), and
  * drives the persistent queue (service/queue.h) until every shard is
  * done — re-queuing crashed, timed-out, and straggling workers with
@@ -14,35 +14,21 @@
  * uses, so the final `BENCH_<campaign>.json` is byte-identical to a
  * direct unsharded `lsqca run` under --no-timing.
  *
- * The cache is layered: a whole-shard hit (api::shardFingerprint) is
- * the fast path; on a shard miss the orchestrator partitions the
- * slice into cached-vs-stale *jobs* (api::jobFingerprint). A slice
- * whose jobs are all cached is assembled in-process with zero spawns;
- * otherwise the worker is handed `--job-cache` and splices the cached
- * entries itself, simulating only the stale jobs — so a resubmit
- * after adding one grid point computes one job, not a campaign.
- *
- * Straggler policy: once at least one shard has completed in this
- * process, a worker older than
- * `max(stragglerFactor * median(done walls), minStragglerSeconds)`
- * is killed and its shard re-queued — the defense against one wedged
- * worker serializing the campaign. The deadline doubles with each of
- * the shard's attempts, and the final attempt is never straggler-
- * killed, so a shard that is legitimately much slower than its peers
- * converges instead of being killed into a failed campaign (a truly
- * wedged worker is still bounded by the hard `timeoutSeconds`).
- *
- * CI escalation (docs/SAMPLING.md): when the campaign's spec carries
- * a sampled estimator with `target_ci > 0`, every base shard's BENCH
- * output is inspected after the queue drains; a shard with any entry
- * whose `sampling_error` exceeds the target is re-queued as a derived
- * task that reruns the same slice exactly (`lsqca run --force-exact`,
- * output under shards/exact/). The merge then prefers the escalated
- * document, so the final artifact meets the CI contract everywhere.
+ * The engine itself — dispatch, retry funnel, straggler policy,
+ * layered cache, CI escalation, merge — lives in service/scheduler.h
+ * and is shared with the multi-tenant daemon (`lsqca serve`,
+ * src/daemon/). The Orchestrator contributes what is specific to the
+ * one-shot shape: admission from the CLI's flags, the drive loop's
+ * pacing (fill the worker pool, poll, sleep), the state-dir lockfile
+ * that keeps a second driver out (service/lock.h), and cooperative
+ * SIGINT/SIGTERM shutdown (common/shutdown.h) that reaps children,
+ * saves the queue, and journals a `shutdown` event so `lsqca resume`
+ * continues exactly where the signal struck.
  *
  * State-dir layout:
  *
  *     <state>/queue.json       lsqca-queue-v1 (source of truth)
+ *     <state>/lock             flock(2) held while a driver runs
  *     <state>/events.jsonl     lsqca-events-v1 campaign journal
  *                              (service/journal.h; read by `lsqca
  *                              report` and `lsqca status`)
@@ -61,7 +47,9 @@
 #include "api/spec.h"
 #include "common/json.h"
 #include "service/journal.h"
+#include "service/lock.h"
 #include "service/queue.h"
+#include "service/scheduler.h"
 
 namespace lsqca::service {
 
@@ -105,6 +93,13 @@ struct OrchestratorOptions
      * reruns of a deterministic campaign journal byte-identically.
      */
     JournalClock clock = JournalClock::Monotonic;
+    /**
+     * Honor a pending shutdown signal (common/shutdown.h) between
+     * dispatches: kill workers, save the queue, journal `shutdown`,
+     * and return an interrupted report. The CLI turns this on after
+     * installing its handlers; embedded/test drives leave it off.
+     */
+    bool handleShutdown = false;
 
     // Test hooks (exercised by tests/service and the CI smoke gate).
     /** Extra argv appended to every worker invocation. */
@@ -119,44 +114,6 @@ struct OrchestratorOptions
     std::int32_t stopAfterDispatches = 0;
 };
 
-/** What one submit()/resume() call did. */
-struct CampaignReport
-{
-    /** Every shard done and the merged artifact written. */
-    bool complete = false;
-    /** Stopped by the stopAfterDispatches hook. */
-    bool interrupted = false;
-    std::int32_t spawned = 0;
-    std::int32_t cacheHits = 0;
-    /** Crash/timeout/straggler attempts that were re-queued. */
-    std::int32_t retries = 0;
-    std::int32_t stragglersKilled = 0;
-    /** Derived exact reruns queued by CI escalation this call. */
-    std::int32_t escalations = 0;
-    /**
-     * Jobs served from the job-granularity cache at queue time (both
-     * fully assembled shards and partial splices a worker completed).
-     */
-    std::int64_t jobCacheHits = 0;
-    /** Jobs this call's workers actually simulated. */
-    std::int64_t jobsComputed = 0;
-    /** Merged BENCH path ("" unless complete). */
-    std::string mergedPath;
-    std::string queuePath;
-    /** Campaign journal path ("" when journaling is disabled). */
-    std::string journalPath;
-    /** Metrics snapshot path ("" when journaling is disabled). */
-    std::string metricsPath;
-    /** The drive's final metrics snapshot (same doc as metricsPath). */
-    Json metrics;
-    /** Final queue snapshot (matches the file on disk). */
-    QueueState queue;
-};
-
-/** max(factor * median, floor) — exposed for unit tests. */
-double stragglerDeadline(double medianSeconds, double factor,
-                         double minSeconds);
-
 /** Drives one campaign in one state dir. */
 class Orchestrator
 {
@@ -166,8 +123,8 @@ class Orchestrator
     /**
      * Create a fresh campaign from @p specPath (the state dir must
      * not already hold one) and drive it to completion. @throws
-     * ConfigError on an existing queue.json, a bad spec, or a
-     * fingerprint mismatch.
+     * ConfigError on an existing queue.json, a bad spec, a
+     * fingerprint mismatch, or a state dir another driver has locked.
      */
     CampaignReport submit(const std::string &specPath);
 
@@ -190,13 +147,11 @@ class Orchestrator
                                      std::int32_t count);
 
   private:
-    CampaignReport drive(QueueState state, const api::SweepSpec &spec,
-                         const std::vector<api::ExpandedJob> &jobs);
-    /** Open events.jsonl and record the @p leg event (no-op if off). */
-    void openJournal(const char *leg, const QueueState &state);
+    CampaignReport drive(CampaignAdmission admission);
+    SchedulerOptions schedulerOptions() const;
 
     OrchestratorOptions options_;
-    Journal journal_;
+    StateLock lock_;
 };
 
 } // namespace lsqca::service

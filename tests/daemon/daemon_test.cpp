@@ -1,0 +1,481 @@
+/**
+ * @file
+ * End-to-end coverage of the multi-tenant sweep daemon (src/daemon)
+ * against the real `lsqca` binary as its worker fleet. The invariants
+ * pinned here are the ones docs/DAEMON.md promises: a hostile or
+ * clumsy client cannot take the daemon down, two concurrent campaigns
+ * share the worker pool fairly and still merge byte-identical to
+ * direct unsharded runs, and a stopped daemon restarts without losing
+ * completed work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/spec.h"
+#include "common/error.h"
+#include "common/fs.h"
+#include "daemon_test_util.h"
+#include "service/journal.h"
+#include "service/queue.h"
+#include "service/scheduler.h"
+
+namespace lsqca::daemon {
+namespace {
+
+using service::QueueState;
+using service::TaskStatus;
+
+/** Direct in-process --no-timing run; returns the BENCH file bytes. */
+std::string
+goldenRun(const std::string &specPath, const std::string &outDir)
+{
+    const api::SweepSpec spec = api::SweepSpec::load(specPath);
+    api::BenchmarkRegistry registry = api::BenchmarkRegistry::paper();
+    api::RunSpecOptions options;
+    options.threads = 2;
+    options.outDir = outDir;
+    options.noTiming = true;
+    const api::SpecRun run = api::runSpec(spec, registry, options);
+    return fsutil::readFile(run.jsonPath);
+}
+
+DaemonOptions
+baseOptions(const std::string &root, std::int32_t workers)
+{
+    DaemonOptions options;
+    options.root = root;
+    options.workers = workers;
+    options.pollSeconds = 0.002;
+    return options;
+}
+
+std::vector<Json>
+journalEvents(const std::string &path)
+{
+    std::vector<Json> events;
+    const std::string bytes = fsutil::readFile(path);
+    std::size_t from = 0;
+    while (from < bytes.size()) {
+        const std::size_t to = bytes.find('\n', from);
+        if (to == std::string::npos)
+            break; // torn tail: only possible at a crash
+        if (to > from)
+            events.push_back(Json::parse(bytes.substr(from, to - from)));
+        from = to + 1;
+    }
+    return events;
+}
+
+std::vector<std::string>
+dispatchOrder(const std::string &root)
+{
+    std::vector<std::string> order;
+    for (const Json &event :
+         journalEvents(root + "/daemon.events.jsonl"))
+        if (event.find("event")->asString() == "dispatch")
+            order.push_back(event.find("campaign")->asString());
+    return order;
+}
+
+bool
+journalHasEvent(const std::string &path, const std::string &kind)
+{
+    for (const Json &event : journalEvents(path))
+        if (event.find("event")->asString() == kind)
+            return true;
+    return false;
+}
+
+TEST(Daemon, SurvivesMalformedFramesAndUnknownOps)
+{
+    const std::string root = test::scratchDir("hostile");
+    test::DaemonFixture fixture(baseOptions(root, 1));
+    Client client(fixture.socketPath());
+
+    // Raw bytes that are not JSON (Client::call would have quoted a
+    // Json string into a legal frame).
+    ASSERT_TRUE(net::sendLine(client.fd(), "{this is not json"));
+    std::string raw;
+    ASSERT_TRUE(client.readLine(raw));
+    const Json malformed = Json::parse(raw);
+    EXPECT_FALSE(malformed.find("ok")->asBool());
+    EXPECT_NE(malformed.find("error")->asString().find(
+                  "malformed frame"),
+              std::string::npos);
+
+    // The connection survives the bad frame.
+    const Json pong = client.call(test::request("ping"));
+    EXPECT_TRUE(pong.find("ok")->asBool());
+    EXPECT_TRUE(pong.find("pong")->asBool());
+    EXPECT_EQ(pong.find("campaigns")->asInt(), 0);
+
+    Json rebootBody = Json::object();
+    rebootBody.set("op", "reboot");
+    const Json unknown = client.call(rebootBody);
+    EXPECT_FALSE(unknown.find("ok")->asBool());
+    EXPECT_NE(unknown.find("error")->asString().find(
+                  "unknown op \"reboot\""),
+              std::string::npos);
+
+    EXPECT_TRUE(client.call(test::request("ping"))
+                    .find("ok")
+                    ->asBool());
+    EXPECT_EQ(fixture.stop(), 0);
+}
+
+TEST(Daemon, OversizedFrameDropsThatPeerOnly)
+{
+    const std::string root = test::scratchDir("oversized");
+    test::DaemonFixture fixture(baseOptions(root, 1));
+
+    {
+        Client hostile(fixture.socketPath());
+        // One unterminated frame past the 1 MiB guard.
+        std::string blob(net::kMaxLineBytes + 4096, 'x');
+        EXPECT_TRUE(net::sendLine(hostile.fd(), blob));
+        std::string line;
+        ASSERT_TRUE(hostile.readLine(line));
+        const Json response = Json::parse(line);
+        EXPECT_FALSE(response.find("ok")->asBool());
+        EXPECT_NE(response.find("error")->asString().find(
+                      "frame exceeds"),
+                  std::string::npos);
+        // The daemon hangs up on the unrecoverable connection.
+        EXPECT_FALSE(hostile.readLine(line));
+    }
+
+    // Other clients are unaffected.
+    Client fresh(fixture.socketPath());
+    EXPECT_TRUE(fresh.call(test::request("ping"))
+                    .find("ok")
+                    ->asBool());
+    EXPECT_EQ(fixture.stop(), 0);
+}
+
+TEST(Daemon, StatusForAnUnknownCampaignIsAnError)
+{
+    const std::string root = test::scratchDir("unknown");
+    test::DaemonFixture fixture(baseOptions(root, 1));
+    Client client(fixture.socketPath());
+    Json body = test::request("status");
+    body.set("campaign", "absent");
+    const Json response = client.call(body);
+    EXPECT_FALSE(response.find("ok")->asBool());
+    EXPECT_NE(response.find("error")->asString().find("no campaign"),
+              std::string::npos);
+    EXPECT_EQ(fixture.stop(), 0);
+}
+
+TEST(Daemon, TwoCampaignsInterleaveFairlyAndMergeByteIdentical)
+{
+    const std::string root = test::scratchDir("fair");
+    const std::string specB = test::specNamed(root, "smoke_b");
+    const std::string goldenA =
+        goldenRun(test::kSmokeSpec, root + "/golden_a");
+    const std::string goldenB = goldenRun(specB, root + "/golden_b");
+
+    // ONE worker slot: the dispatch order in the daemon journal IS
+    // the fairness record. Workers sleep long enough that the second
+    // campaign is admitted while the first shard still runs.
+    test::DaemonFixture fixture(baseOptions(root, 1));
+    {
+        Client client(fixture.socketPath());
+        const Json a = client.call(
+            test::submitRequest(test::kSmokeSpec, 4, 0.3));
+        ASSERT_TRUE(a.find("ok")->asBool()) << a.dump(0);
+        EXPECT_EQ(a.find("leg")->asString(), "submit");
+        const Json b =
+            client.call(test::submitRequest(specB, 4, 0.3));
+        ASSERT_TRUE(b.find("ok")->asBool()) << b.dump(0);
+
+        // A repeat submit while active is refused.
+        const Json dup = client.call(
+            test::submitRequest(test::kSmokeSpec, 4, 0.3));
+        EXPECT_FALSE(dup.find("ok")->asBool());
+        EXPECT_NE(dup.find("error")->asString().find(
+                      "already active"),
+                  std::string::npos);
+    }
+    test::awaitInactive(fixture.socketPath(), "smoke");
+    test::awaitInactive(fixture.socketPath(), "smoke_b");
+
+    EXPECT_EQ(fsutil::readFile(root +
+                               "/campaigns/smoke/BENCH_smoke.json"),
+              goldenA);
+    EXPECT_EQ(
+        fsutil::readFile(root +
+                         "/campaigns/smoke_b/BENCH_smoke_b.json"),
+        goldenB);
+
+    // Fairness: 4 dispatches each, interleaved — neither campaign
+    // monopolizes the single slot, and weight 1 everywhere bounds a
+    // campaign's consecutive dispatches at 2 (one leading turn before
+    // the rival is admitted, then strict alternation).
+    const std::vector<std::string> order = dispatchOrder(root);
+    EXPECT_EQ(std::count(order.begin(), order.end(), "smoke"), 4);
+    EXPECT_EQ(std::count(order.begin(), order.end(), "smoke_b"), 4);
+    std::size_t runLength = 1;
+    std::size_t maxRun = 1;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        runLength = order[i] == order[i - 1] ? runLength + 1 : 1;
+        maxRun = std::max(maxRun, runLength);
+    }
+    EXPECT_LE(maxRun, 2u) << "dispatch order not interleaved";
+    const auto firstB =
+        std::find(order.begin(), order.end(), "smoke_b");
+    ASSERT_NE(firstB, order.end());
+    // smoke shards were still pending when smoke_b got its first
+    // turn: true interleaving, not back-to-back campaigns.
+    EXPECT_NE(std::find(firstB, order.end(), std::string("smoke")),
+              order.end());
+    EXPECT_EQ(fixture.stop(), 0);
+}
+
+TEST(Daemon, ConcurrentSubmitsFromTwoClientsBothComplete)
+{
+    const std::string root = test::scratchDir("concurrent");
+    const std::string specB = test::specNamed(root, "smoke_b");
+    const std::string goldenA =
+        goldenRun(test::kSmokeSpec, root + "/golden_a");
+    const std::string goldenB = goldenRun(specB, root + "/golden_b");
+
+    test::DaemonFixture fixture(baseOptions(root, 2));
+    Json responseA;
+    Json responseB;
+    std::thread clientA([&] {
+        Client client(fixture.socketPath());
+        responseA =
+            client.call(test::submitRequest(test::kSmokeSpec, 2));
+    });
+    std::thread clientB([&] {
+        Client client(fixture.socketPath());
+        responseB = client.call(test::submitRequest(specB, 2));
+    });
+    clientA.join();
+    clientB.join();
+    ASSERT_TRUE(responseA.find("ok")->asBool()) << responseA.dump(0);
+    ASSERT_TRUE(responseB.find("ok")->asBool()) << responseB.dump(0);
+
+    test::awaitInactive(fixture.socketPath(), "smoke");
+    test::awaitInactive(fixture.socketPath(), "smoke_b");
+    EXPECT_EQ(fsutil::readFile(root +
+                               "/campaigns/smoke/BENCH_smoke.json"),
+              goldenA);
+    EXPECT_EQ(
+        fsutil::readFile(root +
+                         "/campaigns/smoke_b/BENCH_smoke_b.json"),
+        goldenB);
+    EXPECT_EQ(fixture.stop(), 0);
+}
+
+TEST(Daemon, WatchStreamsTheJournalAndDisconnectIsHarmless)
+{
+    const std::string root = test::scratchDir("watch");
+    test::DaemonFixture fixture(baseOptions(root, 2));
+    {
+        Client submit(fixture.socketPath());
+        ASSERT_TRUE(
+            submit.call(test::submitRequest(test::kSmokeSpec, 4, 0.2))
+                .find("ok")
+                ->asBool());
+    }
+
+    Json watchBody = test::request("watch");
+    watchBody.set("campaign", "smoke");
+
+    // A watcher that reads a little and vanishes mid-stream.
+    {
+        Client quitter(fixture.socketPath());
+        const Json accepted = quitter.call(watchBody);
+        ASSERT_TRUE(accepted.find("ok")->asBool());
+        EXPECT_EQ(accepted.find("events")->asString(),
+                  service::kEventsSchema);
+        std::string line;
+        EXPECT_TRUE(quitter.readLine(line));
+        // Destructor closes the socket with the stream mid-flight.
+    }
+
+    // A patient watcher sees the whole journal, ending with `done`.
+    Client watcher(fixture.socketPath());
+    ASSERT_TRUE(watcher.call(watchBody).find("ok")->asBool());
+    std::vector<Json> events;
+    std::string line;
+    while (watcher.readLine(line))
+        events.push_back(Json::parse(line));
+    ASSERT_GE(events.size(), 3u);
+    // First line is the schema header, last the completion verdict —
+    // the same lsqca-events-v1 stream the on-disk journal holds.
+    EXPECT_EQ(events.front().find("event")->asString(), "journal");
+    EXPECT_EQ(events.front().find("schema")->asString(),
+              service::kEventsSchema);
+    EXPECT_EQ(events.back().find("event")->asString(), "done");
+    EXPECT_TRUE(events.back().find("complete")->asBool());
+    for (const Json &event : events)
+        EXPECT_TRUE(event.find("seq")!= nullptr &&
+                    event.find("event") != nullptr)
+            << "journal line missing envelope fields";
+    EXPECT_EQ(fixture.stop(), 0);
+}
+
+TEST(Daemon, CancelLeavesAResumableQueue)
+{
+    const std::string root = test::scratchDir("cancel");
+    const std::string golden =
+        goldenRun(test::kSmokeSpec, root + "/golden");
+    test::DaemonFixture fixture(baseOptions(root, 1));
+    {
+        Client client(fixture.socketPath());
+        ASSERT_TRUE(
+            client.call(test::submitRequest(test::kSmokeSpec, 4, 5.0))
+                .find("ok")
+                ->asBool());
+        Json cancelBody = test::request("cancel");
+        cancelBody.set("campaign", "smoke");
+        const Json cancelled = client.call(cancelBody);
+        ASSERT_TRUE(cancelled.find("ok")->asBool())
+            << cancelled.dump(0);
+        EXPECT_TRUE(cancelled.find("cancelled")->asBool());
+
+        // Cancelling twice is an error: the campaign is gone.
+        EXPECT_FALSE(client.call(cancelBody).find("ok")->asBool());
+    }
+
+    const std::string stateDir = root + "/campaigns/smoke";
+    EXPECT_TRUE(journalHasEvent(service::Journal::pathFor(stateDir),
+                                "shutdown"));
+    const QueueState parked =
+        QueueState::load(service::queuePathFor(stateDir));
+    EXPECT_EQ(parked.countWithStatus(TaskStatus::Done), 0u);
+
+    // Re-submitting the same spec resumes the parked campaign.
+    {
+        Client client(fixture.socketPath());
+        const Json resumed =
+            client.call(test::submitRequest(test::kSmokeSpec, 4));
+        ASSERT_TRUE(resumed.find("ok")->asBool()) << resumed.dump(0);
+        EXPECT_EQ(resumed.find("leg")->asString(), "resume");
+    }
+    test::awaitInactive(fixture.socketPath(), "smoke");
+    EXPECT_EQ(fsutil::readFile(stateDir + "/BENCH_smoke.json"),
+              golden);
+    EXPECT_EQ(fixture.stop(), 0);
+}
+
+TEST(Daemon, DrainRefusesNewWorkAndExitsWhenIdle)
+{
+    const std::string root = test::scratchDir("drain");
+    const std::string specB = test::specNamed(root, "smoke_b");
+    test::DaemonFixture fixture(baseOptions(root, 2));
+    {
+        Client client(fixture.socketPath());
+        ASSERT_TRUE(
+            client.call(test::submitRequest(test::kSmokeSpec, 2, 0.2))
+                .find("ok")
+                ->asBool());
+        const Json draining = client.call(test::request("drain"));
+        ASSERT_TRUE(draining.find("ok")->asBool());
+        EXPECT_TRUE(draining.find("draining")->asBool());
+
+        const Json refused =
+            client.call(test::submitRequest(specB, 2));
+        EXPECT_FALSE(refused.find("ok")->asBool());
+        EXPECT_NE(refused.find("error")->asString().find("draining"),
+                  std::string::npos);
+    }
+    // The active campaign finishes, then the daemon exits by itself.
+    EXPECT_EQ(fixture.waitExit(), 0);
+    const QueueState done = QueueState::load(
+        service::queuePathFor(root + "/campaigns/smoke"));
+    EXPECT_EQ(done.countWithStatus(TaskStatus::Done), 2u);
+    EXPECT_TRUE(
+        journalHasEvent(root + "/daemon.events.jsonl", "shutdown"));
+}
+
+TEST(Daemon, StopMidFlightThenRestartResumesWithoutLosingWork)
+{
+    const std::string root = test::scratchDir("restart");
+    const std::string golden =
+        goldenRun(test::kSmokeSpec, root + "/golden");
+    const std::string stateDir = root + "/campaigns/smoke";
+
+    std::size_t doneBeforeStop = 0;
+    {
+        test::DaemonFixture fixture(baseOptions(root, 1));
+        Client client(fixture.socketPath());
+        ASSERT_TRUE(
+            client.call(test::submitRequest(test::kSmokeSpec, 4, 0.3))
+                .find("ok")
+                ->asBool());
+        // Let at least one shard land, then pull the plug with the
+        // campaign verifiably mid-flight.
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(30);
+        while (std::chrono::steady_clock::now() < deadline) {
+            Json body = test::request("status");
+            body.set("campaign", "smoke");
+            const Json status = client.call(body);
+            const QueueState queue =
+                QueueState::fromJson(*status.find("queue"));
+            doneBeforeStop = queue.countWithStatus(TaskStatus::Done);
+            if (doneBeforeStop >= 1)
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+        ASSERT_GE(doneBeforeStop, 1u);
+        EXPECT_EQ(fixture.stop(), 0);
+    }
+
+    // The stop behaved like SIGTERM: shutdown journaled everywhere,
+    // completed work persisted, interrupted attempts left resumable.
+    EXPECT_TRUE(
+        journalHasEvent(root + "/daemon.events.jsonl", "shutdown"));
+    EXPECT_TRUE(journalHasEvent(service::Journal::pathFor(stateDir),
+                                "shutdown"));
+    const QueueState parked =
+        QueueState::load(service::queuePathFor(stateDir));
+    EXPECT_GE(parked.countWithStatus(TaskStatus::Done),
+              doneBeforeStop);
+    EXPECT_LT(parked.countWithStatus(TaskStatus::Done), 4u);
+
+    {
+        test::DaemonFixture fixture(baseOptions(root, 2));
+        Client client(fixture.socketPath());
+        const Json resumed =
+            client.call(test::submitRequest(test::kSmokeSpec, 4));
+        ASSERT_TRUE(resumed.find("ok")->asBool()) << resumed.dump(0);
+        EXPECT_EQ(resumed.find("leg")->asString(), "resume");
+        test::awaitInactive(fixture.socketPath(), "smoke");
+        EXPECT_EQ(fixture.stop(), 0);
+    }
+    const QueueState finished =
+        QueueState::load(service::queuePathFor(stateDir));
+    EXPECT_EQ(finished.countWithStatus(TaskStatus::Done), 4u);
+    EXPECT_EQ(fsutil::readFile(stateDir + "/BENCH_smoke.json"),
+              golden);
+}
+
+TEST(Daemon, SecondDaemonOnTheSameRootFailsFast)
+{
+    const std::string root = test::scratchDir("exclusive");
+    test::DaemonFixture fixture(baseOptions(root, 1));
+
+    DaemonOptions rivalOptions = baseOptions(root, 1);
+    rivalOptions.handleSignals = false;
+    rivalOptions.workerExe = test::kCliBin;
+    Daemon rival(std::move(rivalOptions));
+    // If the lock were ever missed, the preset stop keeps run() from
+    // serving forever; the root flock must reject it first.
+    rival.requestStop();
+    EXPECT_THROW(rival.run(), ConfigError);
+    EXPECT_EQ(fixture.stop(), 0);
+}
+
+} // namespace
+} // namespace lsqca::daemon

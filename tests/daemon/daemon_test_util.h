@@ -1,0 +1,162 @@
+#ifndef LSQCA_TESTS_DAEMON_TEST_UTIL_H
+#define LSQCA_TESTS_DAEMON_TEST_UTIL_H
+
+/**
+ * @file
+ * Shared plumbing for the daemon suite: per-test scratch directories,
+ * the checked-in smoke spec, the real `lsqca` binary (LSQCA_CLI_BIN,
+ * injected by CMake) used as the worker fleet, and a fixture that
+ * runs an in-process Daemon on its own thread the way `lsqca serve`
+ * would — signals off, stopped via requestStop().
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/fs.h"
+#include "common/json.h"
+#include "daemon/client.h"
+#include "daemon/daemon.h"
+#include "daemon/protocol.h"
+
+namespace lsqca::test {
+
+inline const char *kSmokeSpec = LSQCA_SOURCE_DIR "/specs/smoke.json";
+inline const char *kCliBin = LSQCA_CLI_BIN;
+
+/** A fresh empty directory unique to the running test. */
+inline std::string
+scratchDir(const std::string &tag)
+{
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    const std::string dir = ::testing::TempDir() + "lsqca_daemon_" +
+                            info->test_suite_name() + "_" +
+                            info->name() + "_" + tag;
+    std::filesystem::remove_all(dir);
+    fsutil::makeDirs(dir);
+    return dir;
+}
+
+/** Copy the smoke spec under a different campaign name. */
+inline std::string
+specNamed(const std::string &dir, const std::string &name)
+{
+    Json spec = Json::load(kSmokeSpec);
+    spec.set("name", name);
+    const std::string path = dir + "/" + name + ".json";
+    spec.write(path);
+    return path;
+}
+
+/** An in-process `lsqca serve` running on a background thread. */
+class DaemonFixture
+{
+  public:
+    explicit DaemonFixture(daemon::DaemonOptions options)
+    {
+        options.handleSignals = false;
+        if (options.workerExe.empty())
+            options.workerExe = kCliBin;
+        server_ = std::make_unique<daemon::Daemon>(std::move(options));
+        thread_ = std::thread([this] { exitCode_ = server_->run(); });
+        // The socket file appearing means the accept loop is live.
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(10);
+        while (!fsutil::exists(server_->socketPath()) &&
+               std::chrono::steady_clock::now() < deadline)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        EXPECT_TRUE(fsutil::exists(server_->socketPath()));
+    }
+
+    ~DaemonFixture() { stop(); }
+
+    /** Stop the daemon (idempotent) and return its exit code. */
+    int
+    stop()
+    {
+        if (thread_.joinable()) {
+            server_->requestStop();
+            thread_.join();
+        }
+        return exitCode_;
+    }
+
+    /** Join a daemon that is expected to exit on its own (drain). */
+    int
+    waitExit()
+    {
+        if (thread_.joinable())
+            thread_.join();
+        return exitCode_;
+    }
+
+    daemon::Daemon &server() { return *server_; }
+    const std::string &socketPath() const
+    {
+        return server_->socketPath();
+    }
+
+  private:
+    std::unique_ptr<daemon::Daemon> server_;
+    std::thread thread_;
+    int exitCode_ = -1;
+};
+
+inline Json
+request(const std::string &op)
+{
+    Json body = Json::object();
+    body.set("op", op);
+    body.set("proto", daemon::kProtocol);
+    return body;
+}
+
+/** Submit @p specPath, optionally slowing every worker by @p sleep. */
+inline Json
+submitRequest(const std::string &specPath, std::int32_t shards,
+              double sleepSeconds = 0.0)
+{
+    Json body = request("submit");
+    body.set("spec",
+             std::filesystem::absolute(specPath).string());
+    body.set("shards", shards);
+    body.set("no_timing", true);
+    if (sleepSeconds > 0.0) {
+        Json extra = Json::array();
+        extra.push(Json("--test-sleep-seconds"));
+        extra.push(Json(std::to_string(sleepSeconds)));
+        body.set("extra_worker_args", std::move(extra));
+    }
+    return body;
+}
+
+/** Poll `status` until @p campaign is inactive (or 60 s pass). */
+inline Json
+awaitInactive(const std::string &socketPath,
+              const std::string &campaign)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (std::chrono::steady_clock::now() < deadline) {
+        daemon::Client client(socketPath);
+        Json body = request("status");
+        body.set("campaign", campaign);
+        Json response = client.call(body);
+        const Json *active = response.find("active");
+        if (active != nullptr && !active->asBool())
+            return response;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ADD_FAILURE() << "campaign " << campaign << " never finished";
+    return Json();
+}
+
+} // namespace lsqca::test
+
+#endif // LSQCA_TESTS_DAEMON_TEST_UTIL_H

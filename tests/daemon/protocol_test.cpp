@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Framing contract of lsqca-daemon-v1 (daemon/protocol.h): every
+ * accepted line is a JSON object naming a known op, everything else
+ * is rejected with a message the daemon can hand back verbatim, and
+ * the response envelopes always carry ok + proto.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+#include "daemon/protocol.h"
+
+namespace lsqca::daemon {
+namespace {
+
+std::string
+rejectionFor(const std::string &line)
+{
+    try {
+        parseRequest(line);
+    } catch (const ConfigError &error) {
+        return error.what();
+    }
+    ADD_FAILURE() << "accepted: " << line;
+    return "";
+}
+
+TEST(Protocol, ParsesEveryKnownOp)
+{
+    for (const char *op : {"ping", "submit", "status", "list", "watch",
+                           "cancel", "drain"}) {
+        const Request parsed = parseRequest(
+            std::string("{\"op\":\"") + op + "\",\"proto\":\"" +
+            kProtocol + "\"}");
+        EXPECT_EQ(parsed.op, op);
+        EXPECT_TRUE(parsed.body.isObject());
+    }
+}
+
+TEST(Protocol, ProtoMemberIsOptionalButCheckedWhenPresent)
+{
+    EXPECT_EQ(parseRequest("{\"op\":\"ping\"}").op, "ping");
+    EXPECT_NE(rejectionFor(
+                  "{\"op\":\"ping\",\"proto\":\"lsqca-daemon-v0\"}")
+                  .find("protocol mismatch"),
+              std::string::npos);
+}
+
+TEST(Protocol, RejectsMalformedFrames)
+{
+    // Not JSON at all.
+    EXPECT_NE(rejectionFor("{oops").find("malformed frame"),
+              std::string::npos);
+    EXPECT_NE(rejectionFor("").find("malformed frame"),
+              std::string::npos);
+    // JSON, but not an object.
+    EXPECT_NE(rejectionFor("[1,2,3]").find("expected a JSON object"),
+              std::string::npos);
+    EXPECT_NE(rejectionFor("42").find("expected a JSON object"),
+              std::string::npos);
+    // An object without a usable op.
+    EXPECT_NE(rejectionFor("{}").find("missing string \"op\""),
+              std::string::npos);
+    EXPECT_NE(rejectionFor("{\"op\":7}").find("missing string \"op\""),
+              std::string::npos);
+}
+
+TEST(Protocol, RejectsUnknownOpsByName)
+{
+    const std::string what =
+        rejectionFor("{\"op\":\"reboot\"}");
+    EXPECT_NE(what.find("unknown op \"reboot\""), std::string::npos);
+    // The rejection teaches the vocabulary.
+    EXPECT_NE(what.find("ping|submit|status"), std::string::npos);
+}
+
+TEST(Protocol, ResponseEnvelopesCarryOkAndProto)
+{
+    const Json ok = okResponse();
+    EXPECT_TRUE(ok.find("ok")->asBool());
+    EXPECT_EQ(ok.find("proto")->asString(), kProtocol);
+
+    const Json error = errorResponse("broken");
+    EXPECT_FALSE(error.find("ok")->asBool());
+    EXPECT_EQ(error.find("proto")->asString(), kProtocol);
+    EXPECT_EQ(error.find("error")->asString(), "broken");
+}
+
+} // namespace
+} // namespace lsqca::daemon

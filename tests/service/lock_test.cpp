@@ -1,0 +1,99 @@
+/**
+ * @file
+ * State-dir lockfile contract (service/lock.h): one live driver per
+ * campaign directory, the loser told who owns it, stale locks from
+ * dead processes reclaimed automatically, and the orchestrator
+ * actually enforcing all of this on its submit/resume paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include <unistd.h>
+
+#include "common/error.h"
+#include "common/fs.h"
+#include "service/lock.h"
+#include "service/orchestrator.h"
+#include "service_test_util.h"
+
+namespace lsqca::service {
+namespace {
+
+TEST(StateLock, SecondAcquireFailsFastNamingTheHolder)
+{
+    const std::string dir = test::scratchDir("double");
+    StateLock first = StateLock::acquire(dir);
+    EXPECT_TRUE(first.held());
+    // flock conflicts apply across open file descriptions, so a
+    // second acquire loses even inside one process.
+    try {
+        StateLock second = StateLock::acquire(dir);
+        FAIL() << "second acquire must throw";
+    } catch (const ConfigError &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("locked"), std::string::npos) << what;
+        EXPECT_NE(what.find(std::to_string(::getpid())),
+                  std::string::npos)
+            << what;
+    }
+}
+
+TEST(StateLock, ReleaseMakesTheDirAcquirableAgain)
+{
+    const std::string dir = test::scratchDir("release");
+    StateLock lock = StateLock::acquire(dir);
+    lock.release();
+    EXPECT_FALSE(lock.held());
+    StateLock again = StateLock::acquire(dir);
+    EXPECT_TRUE(again.held());
+}
+
+TEST(StateLock, StaleFileFromADeadProcessIsReclaimed)
+{
+    const std::string dir = test::scratchDir("stale");
+    // A lock file left behind by a driver that died without release:
+    // the pid inside is informative only — no live flock, no claim.
+    fsutil::makeDirs(dir);
+    fsutil::writeFileAtomic(StateLock::pathFor(dir), "999999\n");
+    StateLock lock = StateLock::acquire(dir);
+    EXPECT_TRUE(lock.held());
+    // Our pid replaced the stale one.
+    EXPECT_NE(fsutil::readFile(StateLock::pathFor(dir))
+                  .find(std::to_string(::getpid())),
+              std::string::npos);
+}
+
+TEST(StateLock, MoveTransfersOwnership)
+{
+    const std::string dir = test::scratchDir("move");
+    StateLock lock = StateLock::acquire(dir);
+    StateLock stolen = std::move(lock);
+    EXPECT_FALSE(lock.held());
+    EXPECT_TRUE(stolen.held());
+    stolen.release();
+    EXPECT_TRUE(StateLock::acquire(dir).held());
+}
+
+TEST(StateLock, OrchestratorRefusesALockedStateDir)
+{
+    const std::string dir = test::scratchDir("orch");
+    StateLock lock = StateLock::acquire(dir + "/state");
+
+    OrchestratorOptions options;
+    options.stateDir = dir + "/state";
+    options.workerExe = test::kCliBin;
+    options.shards = 2;
+    options.noTiming = true;
+    EXPECT_THROW(Orchestrator(options).submit(test::kSmokeSpec),
+                 ConfigError);
+
+    // Releasing the rival makes the same submit succeed.
+    lock.release();
+    EXPECT_TRUE(
+        Orchestrator(options).submit(test::kSmokeSpec).complete);
+}
+
+} // namespace
+} // namespace lsqca::service
